@@ -1,0 +1,366 @@
+package sparselu
+
+// One benchmark per table and figure of the paper's evaluation section.
+// The benchmarks default to the reduced-order suite so `go test -bench=.`
+// finishes quickly; set SPARSELU_BENCH_FULL=1 to run the full-size
+// Table 1 matrices (several minutes). cmd/paperbench prints the actual
+// rows/series of each table and figure.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gplu"
+	"repro/internal/matgen"
+	"repro/internal/ordering"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+	"repro/internal/taskgraph"
+	"repro/internal/transversal"
+)
+
+// orderingForGP builds the column permutation the Gilbert–Peierls
+// baseline uses: transversal + minimum degree, composed.
+func orderingForGP(a *sparse.CSC) sparse.Perm {
+	tr := transversal.MaximumTransversal(a)
+	return ordering.ColumnOrdering(a.PermuteRows(tr.RowPerm), ordering.MinDegreeATA)
+}
+
+func benchSuite() []matgen.Spec {
+	if os.Getenv("SPARSELU_BENCH_FULL") != "" {
+		return matgen.Suite()
+	}
+	return matgen.SmallSuite()
+}
+
+// BenchmarkTable1SymbolicFill regenerates Table 1: the structural
+// pipeline (transversal, minimum degree on AᵀA, static symbolic
+// factorization). The fill ratio |Ā|/|A| is reported as a metric.
+func BenchmarkTable1SymbolicFill(b *testing.B) {
+	for _, spec := range benchSuite() {
+		b.Run(spec.Name, func(b *testing.B) {
+			a := spec.Gen()
+			var fill float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := core.Analyze(a, core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				fill = s.Stats.FillRatio
+			}
+			b.ReportMetric(fill, "fill-ratio")
+		})
+	}
+}
+
+// BenchmarkTable2Factorization regenerates Table 2: the parallel numeric
+// factorization at P ∈ {1,2,4,8} workers (real goroutine execution,
+// task-level scheduling). On a single-core host the wall time will not
+// scale; the simulated Table 2 comes from cmd/paperbench.
+func BenchmarkTable2Factorization(b *testing.B) {
+	for _, spec := range benchSuite() {
+		a := spec.Gen()
+		s, err := core.Analyze(a, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/P=%d", spec.Name, p), func(b *testing.B) {
+				sp := *s
+				sp.Opts.Workers = p
+				for i := 0; i < b.N; i++ {
+					if _, err := core.FactorizeGlobal(&sp, a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable3Supernodes regenerates Table 3: the supernode counts of
+// the L/U partition without and with postordering, reported as metrics.
+func BenchmarkTable3Supernodes(b *testing.B) {
+	for _, spec := range benchSuite() {
+		b.Run(spec.Name, func(b *testing.B) {
+			a := spec.Gen()
+			var sn, snpo int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				noPO := core.DefaultOptions()
+				noPO.Postorder = false
+				sNo, err := core.Analyze(a, noPO)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sPO, err := core.Analyze(a, core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sn, snpo = sNo.Stats.Supernodes, sPO.Stats.Supernodes
+			}
+			b.ReportMetric(float64(sn), "SN")
+			b.ReportMetric(float64(snpo), "SNPO")
+			b.ReportMetric(float64(sn)/float64(snpo), "SN/SNPO")
+		})
+	}
+}
+
+// benchFigure is shared by the Figure 5 and Figure 6 benchmarks: it
+// simulates both task graphs on the Origin 2000 model and reports the
+// improvement 1 − T(eforest)/T(S*) as a metric per processor count.
+func benchFigure(b *testing.B, names []string, procs []int) {
+	specs := experiments.FilterSpecs(benchSuite(), names)
+	for _, spec := range specs {
+		a := spec.Gen()
+		s, err := core.Analyze(a, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gS := taskgraph.New(s.BlockSym, s.BlockForest, taskgraph.SStar)
+		cmS := taskgraph.NewCostModel(gS, s.BlockSym, s.Part)
+		for _, p := range procs {
+			b.Run(fmt.Sprintf("%s/P=%d", spec.Name, p), func(b *testing.B) {
+				var imp float64
+				perturb := sched.Perturb{Amplitude: 0.5, Seed: 2000}
+				for i := 0; i < b.N; i++ {
+					rS, err := sched.SimulateStatic(gS, cmS, sched.Origin2000(p), sched.PanelWords(gS, cmS), perturb)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rE, err := sched.SimulateStatic(s.Graph, s.Costs, sched.Origin2000(p), sched.PanelWords(s.Graph, s.Costs), perturb)
+					if err != nil {
+						b.Fatal(err)
+					}
+					imp = 1 - rE.Makespan/rS.Makespan
+				}
+				b.ReportMetric(100*imp, "improvement-%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5TaskGraph regenerates Figure 5 (sherman3, sherman5,
+// orsreg1, goodwin).
+func BenchmarkFig5TaskGraph(b *testing.B) {
+	benchFigure(b, experiments.Figure5Matrices, []int{2, 4, 8})
+}
+
+// BenchmarkFig6TaskGraph regenerates Figure 6 (lns3937, lnsp3937,
+// saylr4).
+func BenchmarkFig6TaskGraph(b *testing.B) {
+	benchFigure(b, experiments.Figure6Matrices, []int{2, 4, 8})
+}
+
+// BenchmarkAblationPostorder measures the real serial factorization
+// with and without postordering — the BLAS-3 benefit of larger
+// supernodes (DESIGN.md ablation 1).
+func BenchmarkAblationPostorder(b *testing.B) {
+	spec := benchSuite()[0]
+	a := spec.Gen()
+	for _, post := range []bool{false, true} {
+		name := "postorder=off"
+		if post {
+			name = "postorder=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Postorder = post
+			s, err := core.Analyze(a, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FactorizeWith(s, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(s.Stats.Supernodes), "supernodes")
+		})
+	}
+}
+
+// BenchmarkAblationAmalgamation sweeps the supernode width cap (DESIGN
+// ablation 3): wider supernodes mean fewer, bigger BLAS-3 calls but
+// more explicit zeros.
+func BenchmarkAblationAmalgamation(b *testing.B) {
+	spec := benchSuite()[0]
+	a := spec.Gen()
+	for _, maxSize := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("maxsize=%d", maxSize), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Amalgamation.MaxSize = maxSize
+			s, err := core.Analyze(a, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FactorizeWith(s, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(s.Stats.Supernodes), "supernodes")
+		})
+	}
+}
+
+// BenchmarkAblationOrdering compares fill across ordering methods
+// (DESIGN ablation 5).
+func BenchmarkAblationOrdering(b *testing.B) {
+	spec := benchSuite()[0]
+	a := spec.Gen()
+	for _, cfg := range []struct {
+		name string
+		ord  Ordering
+	}{{"mindeg", MinDegree}, {"natural", NaturalOrder}, {"rcm", RCM}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m := WrapCSC(a)
+			opts := DefaultOptions()
+			opts.Ordering = cfg.ord
+			var fill float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				an, err := Analyze(m, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fill = an.Stats().FillRatio
+			}
+			b.ReportMetric(fill, "fill-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationSchedulers compares the owner-mapped (1-D
+// block-column) simulator against task-level scheduling at P=8 (DESIGN
+// ablation 4): task-level scheduling is what lets independent-subtree
+// updates overlap.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	spec := benchSuite()[0]
+	a := spec.Gen()
+	s, err := core.Analyze(a, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sched.Origin2000(8)
+	b.Run("owner-1D", func(b *testing.B) {
+		var mk float64
+		for i := 0; i < b.N; i++ {
+			res, err := sched.Simulate(s.Graph, s.Costs, sched.BlockCyclic(s.Graph.N, 8), m, sched.PanelWords(s.Graph, s.Costs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mk = res.Makespan
+		}
+		b.ReportMetric(mk*1e3, "sim-ms")
+	})
+	b.Run("task-level", func(b *testing.B) {
+		var mk float64
+		for i := 0; i < b.N; i++ {
+			res, err := sched.SimulateGlobal(s.Graph, s.Costs, m, sched.PanelWords(s.Graph, s.Costs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mk = res.Makespan
+		}
+		b.ReportMetric(mk*1e3, "sim-ms")
+	})
+}
+
+// BenchmarkStructureBounds compares the dynamic (Gilbert–Peierls) fill
+// against the static and column-etree bounds — the Section 3 remark
+// that the column etree "substantially overestimates" the structures.
+func BenchmarkStructureBounds(b *testing.B) {
+	specs := benchSuite()[:2]
+	var rows []experiments.BoundsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.StructureBounds(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.StaticOver, r.Name+"-static/dyn")
+		b.ReportMetric(r.SuperLUOver, r.Name+"-slu/dyn")
+	}
+}
+
+// BenchmarkGilbertPeierlsBaseline measures the dynamic-symbolic
+// baseline factorization (SuperLU-class algorithm) for comparison with
+// BenchmarkTable2Factorization.
+func BenchmarkGilbertPeierlsBaseline(b *testing.B) {
+	for _, spec := range benchSuite()[:3] {
+		b.Run(spec.Name, func(b *testing.B) {
+			a := spec.Gen()
+			q := orderingForGP(a)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gplu.Factor(a, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation2DMapping compares the 1-D block-column mapping with
+// the 2-D grid mapping the paper names as future work (simulated P=8).
+func BenchmarkAblation2DMapping(b *testing.B) {
+	spec := benchSuite()[0]
+	a := spec.Gen()
+	s, err := core.Analyze(a, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sched.Origin2000(8)
+	b.Run("1D-cyclic", func(b *testing.B) {
+		var mk float64
+		for i := 0; i < b.N; i++ {
+			res, err := sched.Simulate(s.Graph, s.Costs, sched.BlockCyclic(s.Graph.N, 8), m, sched.PanelWords(s.Graph, s.Costs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mk = res.Makespan
+		}
+		b.ReportMetric(mk*1e3, "sim-ms")
+	})
+	b.Run("2D-4x2", func(b *testing.B) {
+		owners := sched.TaskOwners2D(s.Graph, 4, 2)
+		var mk float64
+		for i := 0; i < b.N; i++ {
+			res, err := sched.SimulateOwners(s.Graph, s.Costs, owners, m, sched.PanelWords(s.Graph, s.Costs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mk = res.Makespan
+		}
+		b.ReportMetric(mk*1e3, "sim-ms")
+	})
+}
+
+// BenchmarkSolve measures the triangular-solve phase.
+func BenchmarkSolve(b *testing.B) {
+	spec := benchSuite()[0]
+	a := spec.Gen()
+	f, err := core.Factorize(a, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, a.NCols)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Fluid-flow scenario (the lns3937/lnsp3937 class): a linearized
+// Navier-Stokes operator with strong convection, structurally
+// unsymmetric — the case where unsymmetric-aware static symbolic
+// factorization matters most. The example compares the paper's eforest
+// task dependence graph against the S* baseline on the same matrix and
+// shows that both produce the identical factorization.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro"
+	"repro/internal/matgen"
+)
+
+func main() {
+	var m *sparselu.Matrix
+	for _, spec := range matgen.SmallSuite() {
+		if spec.Name == "lnsp-s" {
+			m = sparselu.WrapCSC(spec.Gen())
+		}
+	}
+	fmt.Printf("convection–diffusion operator: n = %d, nnz = %d (pattern-unsymmetric)\n",
+		m.Order(), m.NNZ())
+
+	rhs := make([]float64, m.Order())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i))
+	}
+
+	var solutions [][]float64
+	for _, cfg := range []struct {
+		name  string
+		graph sparselu.TaskGraph
+	}{
+		{"S* baseline ", sparselu.SStarGraph},
+		{"eforest (new)", sparselu.EForestGraph},
+	} {
+		opts := sparselu.DefaultOptions()
+		opts.TaskGraph = cfg.graph
+		opts.Workers = 4
+		a, err := sparselu.Analyze(m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := a.Stats()
+		t0 := time.Now()
+		f, err := a.Factorize(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(t0)
+		x, err := f.Solve(rhs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solutions = append(solutions, x)
+		fmt.Printf("%s: %5d edges, factor %8v, backward error %.3g\n",
+			cfg.name, st.Edges, elapsed.Round(time.Microsecond), sparselu.Residual(m, x, rhs))
+	}
+
+	// Both graphs order the same numerical operations, so the results
+	// agree bitwise.
+	maxDiff := 0.0
+	for i := range solutions[0] {
+		if d := math.Abs(solutions[0][i] - solutions[1][i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("max |x_sstar − x_eforest| = %g (bitwise deterministic)\n", maxDiff)
+}

@@ -1,0 +1,79 @@
+// Production-solver workflow on a badly scaled system: equilibration,
+// iterative refinement and the diagnostic surface (condition estimate,
+// pivot growth, log-determinant). Chemical-engineering and circuit
+// matrices routinely mix units across twelve orders of magnitude; this
+// example manufactures such a system and shows the library's guard
+// rails.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const n = 300
+	rng := rand.New(rand.NewSource(99))
+
+	// A banded operator whose rows are scaled by wildly different units.
+	b := sparselu.NewBuilder(n)
+	rowScale := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowScale[i] = math.Pow(10, float64(rng.Intn(13)-6)) // 1e-6 … 1e6
+	}
+	for i := 0; i < n; i++ {
+		s := rowScale[i]
+		b.Add(i, i, s*(4+rng.Float64()))
+		if i > 0 {
+			b.Add(i, i-1, -s*(0.5+rng.Float64()))
+		}
+		if i+1 < n {
+			b.Add(i, i+1, -s*(0.5+rng.Float64()))
+		}
+		if i+7 < n {
+			b.Add(i, i+7, -s*0.25*rng.Float64())
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := make([]float64, n)
+	for i := range truth {
+		truth[i] = math.Sin(float64(i) / 10)
+	}
+	rhs := m.MulVec(truth)
+
+	for _, cfg := range []struct {
+		name  string
+		equil bool
+	}{
+		{"raw        ", false},
+		{"equilibrated", true},
+	} {
+		opts := sparselu.DefaultOptions()
+		opts.Equilibrate = cfg.equil
+		f, err := sparselu.Factorize(m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		x, berr, steps, err := f.SolveRefined(rhs, 2, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxErr := 0.0
+		for i := range x {
+			if d := math.Abs(x[i] - truth[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+		k, _ := f.ConditionEstimate()
+		fmt.Printf("%s: backward error %.2e (refined %d×), forward error %.2e, κ₁ ≈ %.2e, growth %.2f\n",
+			cfg.name, berr, steps, maxErr, k, f.PivotGrowth())
+	}
+}

@@ -1,0 +1,242 @@
+package sparselu
+
+import (
+	"repro/internal/core"
+	"repro/internal/ordering"
+	"repro/internal/supernode"
+	"repro/internal/taskgraph"
+)
+
+// Ordering selects the fill-reducing column ordering.
+type Ordering int
+
+const (
+	// MinDegree runs minimum degree on the pattern of AᵀA (the paper's
+	// choice and the default).
+	MinDegree Ordering = iota
+	// NaturalOrder keeps the input ordering.
+	NaturalOrder
+	// RCM runs reverse Cuthill–McKee on the pattern of AᵀA.
+	RCM
+)
+
+// TaskGraph selects the dependence structure driving the parallel
+// numeric factorization.
+type TaskGraph int
+
+const (
+	// EForestGraph is the paper's elimination-forest-guided graph with
+	// only the least necessary dependences (default).
+	EForestGraph TaskGraph = iota
+	// SStarGraph is the baseline graph of the S* environment, which
+	// serializes the updates of each column in ascending source order.
+	SStarGraph
+)
+
+// Options configures analysis and factorization. The zero value is not
+// meaningful; use DefaultOptions or pass nil to get the paper's
+// configuration.
+type Options struct {
+	// Ordering is the fill-reducing ordering.
+	Ordering Ordering
+	// Postorder applies the paper's postordering of the LU elimination
+	// forest, which enlarges supernodes and yields a block upper
+	// triangular form.
+	Postorder bool
+	// TaskGraph picks the dependence structure.
+	TaskGraph TaskGraph
+	// Workers is the number of parallel workers for the numeric phase
+	// (values below 1 mean serial execution).
+	Workers int
+	// MaxSupernode caps the supernode width during amalgamation
+	// (0 means 32).
+	MaxSupernode int
+	// AmalgamationFill is the fraction of explicit zeros a supernode
+	// merge may introduce (negative means 0.25).
+	AmalgamationFill float64
+	// Equilibrate scales rows and columns to unit maxima before
+	// factoring; solves transparently undo the scaling. Useful for
+	// badly scaled systems.
+	Equilibrate bool
+}
+
+// DefaultOptions returns the paper's configuration: minimum degree,
+// postordering on, eforest task graph, serial execution.
+func DefaultOptions() *Options {
+	return &Options{
+		Ordering:         MinDegree,
+		Postorder:        true,
+		TaskGraph:        EForestGraph,
+		Workers:          1,
+		MaxSupernode:     32,
+		AmalgamationFill: 0.25,
+	}
+}
+
+func (o *Options) toCore() *core.Options {
+	if o == nil {
+		o = DefaultOptions()
+	}
+	ord := ordering.MinDegreeATA
+	switch o.Ordering {
+	case NaturalOrder:
+		ord = ordering.Natural
+	case RCM:
+		ord = ordering.RCMATA
+	}
+	tg := taskgraph.EForest
+	if o.TaskGraph == SStarGraph {
+		tg = taskgraph.SStar
+	}
+	return &core.Options{
+		Ordering:  ord,
+		Postorder: o.Postorder,
+		TaskGraph: tg,
+		Workers:   o.Workers,
+		Amalgamation: supernode.AmalgamationOptions{
+			MaxSize: o.MaxSupernode,
+			MaxFill: o.AmalgamationFill,
+		},
+		Equilibrate: o.Equilibrate,
+	}
+}
+
+// Stats summarizes an analysis in the terms of the paper's tables.
+type Stats struct {
+	// Order is the matrix dimension n.
+	Order int
+	// NNZ is the number of nonzeros of A.
+	NNZ int
+	// FactorNNZ is |Ā|, the entries of the static factors.
+	FactorNNZ int
+	// FillRatio is |Ā| / |A| (Table 1).
+	FillRatio float64
+	// Supernodes is the supernode count after amalgamation.
+	Supernodes int
+	// StrictSupernodes is the count before amalgamation (Table 3's SN /
+	// SNPO, depending on the Postorder option).
+	StrictSupernodes int
+	// DiagonalBlocks is the number of trees in the LU eforest — the
+	// diagonal blocks of the block-upper-triangular form (Table 3's
+	// NoBlks).
+	DiagonalBlocks int
+	// Tasks and Edges describe the task dependence graph.
+	Tasks, Edges int
+	// TotalFlops estimates the numeric work; CriticalPathFlops the
+	// weighted critical path of the task graph.
+	TotalFlops, CriticalPathFlops float64
+}
+
+// Analysis is the reusable structural phase: it depends only on the
+// matrix pattern, so one Analysis can factor many matrices with the same
+// structure.
+type Analysis struct {
+	s *core.Symbolic
+}
+
+// Analyze runs the structural pipeline on m.
+func Analyze(m *Matrix, opts *Options) (*Analysis, error) {
+	s, err := core.Analyze(m.a, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{s: s}, nil
+}
+
+// Stats returns the analysis summary.
+func (a *Analysis) Stats() Stats {
+	st := a.s.Stats
+	return Stats{
+		Order:             st.N,
+		NNZ:               st.NNZA,
+		FactorNNZ:         st.NNZFactors,
+		FillRatio:         st.FillRatio,
+		Supernodes:        st.Supernodes,
+		StrictSupernodes:  st.StrictSN,
+		DiagonalBlocks:    st.NumTrees,
+		Tasks:             st.TaskCount,
+		Edges:             st.EdgeCount,
+		TotalFlops:        st.TotalFlops,
+		CriticalPathFlops: st.CriticalPath,
+	}
+}
+
+// Symbolic exposes the internal analysis to sibling packages in this
+// module (the benchmark harness needs the task graph and cost model).
+func (a *Analysis) Symbolic() *core.Symbolic { return a.s }
+
+// Factorize performs the numeric factorization of m under this
+// analysis; m must have the pattern the analysis was computed from.
+func (a *Analysis) Factorize(m *Matrix) (*Factorization, error) {
+	f, err := core.FactorizeWith(a.s, m.a)
+	if err != nil {
+		return nil, err
+	}
+	return &Factorization{f: f, m: m}, nil
+}
+
+// Factorization holds the numeric LU factors.
+type Factorization struct {
+	f *core.Factorization
+	m *Matrix
+}
+
+// Factorize analyzes and factors m in one call.
+func Factorize(m *Matrix, opts *Options) (*Factorization, error) {
+	f, err := core.Factorize(m.a, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Factorization{f: f, m: m}, nil
+}
+
+// Solve solves A·x = b. b is not modified.
+func (f *Factorization) Solve(b []float64) ([]float64, error) {
+	return f.f.Solve(b)
+}
+
+// SolveMany solves A·X = B for several right-hand sides with blocked
+// BLAS-3 triangular sweeps.
+func (f *Factorization) SolveMany(bs [][]float64) ([][]float64, error) {
+	return f.f.SolveMany(bs)
+}
+
+// SolveTranspose solves Aᵀ·x = b. b is not modified.
+func (f *Factorization) SolveTranspose(b []float64) ([]float64, error) {
+	return f.f.SolveTranspose(b)
+}
+
+// SolveRefined solves A·x = b with up to maxIter steps of iterative
+// refinement (tol ≤ 0 means machine precision). It returns the
+// solution, the final scaled backward error and the number of
+// refinement steps taken.
+func (f *Factorization) SolveRefined(b []float64, maxIter int, tol float64) (x []float64, backwardError float64, steps int, err error) {
+	return f.f.SolveRefined(f.m.a, b, maxIter, tol)
+}
+
+// ConditionEstimate returns an estimate of the 1-norm condition number
+// κ₁(A) using the Hager/Higham method (like LAPACK's xGECON).
+func (f *Factorization) ConditionEstimate() (float64, error) {
+	return f.f.CondEstimate1(f.m.a)
+}
+
+// LogDet returns the sign of det(A) and log|det(A)|; sign 0 means the
+// factorization is singular.
+func (f *Factorization) LogDet() (sign, logAbs float64) {
+	return f.f.LogDet()
+}
+
+// PivotGrowth returns max|Û| / max|A|, the element-growth stability
+// indicator of the factorization.
+func (f *Factorization) PivotGrowth() float64 {
+	return f.f.PivotGrowth(f.m.a)
+}
+
+// Singular reports whether the factorization hit an exactly zero pivot.
+func (f *Factorization) Singular() bool { return f.f.Singular() }
+
+// Residual returns the scaled backward error ‖A·x − b‖∞ / (‖A‖∞‖x‖∞ +
+// ‖b‖∞).
+func Residual(m *Matrix, x, b []float64) float64 {
+	return core.Residual(m.a, x, b)
+}

@@ -1,0 +1,124 @@
+package sparselu
+
+// Full-size integration tests: the complete pipeline on the paper's
+// actual matrix orders. Skipped under -short; the default `go test`
+// run exercises them (a few seconds).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+// TestFullSizeOrsreg1 runs the complete pipeline on the full-size
+// orsreg1 stand-in (n = 2205): analyze, factor in parallel, solve,
+// refine, and check every reported statistic for plausibility.
+func TestFullSizeOrsreg1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size integration test")
+	}
+	m := WrapCSC(matgen.Orsreg1())
+	if m.Order() != 2205 {
+		t.Fatalf("order %d", m.Order())
+	}
+	opts := DefaultOptions()
+	opts.Workers = 4
+	a, err := Analyze(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.FillRatio < 5 || st.FillRatio > 100 {
+		t.Fatalf("fill ratio %g implausible", st.FillRatio)
+	}
+	if st.Supernodes < 100 || st.Supernodes > st.Order {
+		t.Fatalf("supernodes %d implausible", st.Supernodes)
+	}
+	f, err := a.Factorize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Singular() {
+		t.Fatal("orsreg1 should be nonsingular")
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := make([]float64, m.Order())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, berr, _, err := f.SolveRefined(b, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if berr > 1e-12 {
+		t.Fatalf("backward error %g", berr)
+	}
+	if r := Residual(m, x, b); r > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+	if g := f.PivotGrowth(); g <= 0 || g > 1e6 {
+		t.Fatalf("pivot growth %g", g)
+	}
+}
+
+// TestFullSizePostorderingEffect verifies the Table 3 effect at full
+// scale: postordering must reduce the supernode count on every matrix
+// of the suite that fits a quick run.
+func TestFullSizePostorderingEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size integration test")
+	}
+	m := WrapCSC(matgen.Lnsp3937())
+	with, err := Analyze(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPO := DefaultOptions()
+	noPO.Postorder = false
+	without, err := Analyze(m, noPO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, snpo := without.Stats().Supernodes, with.Stats().Supernodes
+	if snpo >= sn {
+		t.Fatalf("postordering did not reduce supernodes at full scale: %d → %d", sn, snpo)
+	}
+	// Theorem 3 at full scale: same fill either way.
+	if with.Stats().FactorNNZ != without.Stats().FactorNNZ {
+		t.Fatalf("postordering changed |Ā|: %d vs %d", with.Stats().FactorNNZ, without.Stats().FactorNNZ)
+	}
+}
+
+// TestFullSizeGraphVariantsAgree checks bitwise agreement of the two
+// task graphs' factors at full scale on lns3937.
+func TestFullSizeGraphVariantsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size integration test")
+	}
+	m := WrapCSC(matgen.Lns3937())
+	b := make([]float64, m.Order())
+	for i := range b {
+		b[i] = 1
+	}
+	var xs [][]float64
+	for _, tg := range []TaskGraph{SStarGraph, EForestGraph} {
+		opts := DefaultOptions()
+		opts.TaskGraph = tg
+		opts.Workers = 4
+		f, err := Factorize(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, x)
+	}
+	for i := range xs[0] {
+		if xs[0][i] != xs[1][i] {
+			t.Fatalf("solutions differ at %d: %v vs %v", i, xs[0][i], xs[1][i])
+		}
+	}
+}

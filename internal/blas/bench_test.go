@@ -1,0 +1,105 @@
+package blas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDgemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{8, 32, 64, 128, 256} {
+		a := randMat(n, n, rng)
+		bb := randMat(n, n, rng)
+		c := randMat(n, n, rng)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n * n))
+			for i := 0; i < b.N; i++ {
+				Dgemm(n, n, n, 1, a, n, bb, n, 1, c, n)
+			}
+			flops := 2 * float64(n) * float64(n) * float64(n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflop/s")
+		})
+	}
+}
+
+func BenchmarkDgemmSkinny(b *testing.B) {
+	// The shapes the supernodal update actually uses: tall-skinny panels
+	// times small blocks.
+	rng := rand.New(rand.NewSource(2))
+	for _, shape := range [][3]int{{256, 8, 8}, {512, 16, 16}, {1024, 32, 32}} {
+		m, n, k := shape[0], shape[1], shape[2]
+		a := randMat(m, k, rng)
+		bb := randMat(k, n, rng)
+		c := randMat(m, n, rng)
+		b.Run(fmt.Sprintf("%dx%dx%d", m, n, k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Dgemm(m, n, k, -1, a, k, bb, n, 1, c, n)
+			}
+		})
+	}
+}
+
+func BenchmarkDtrsm(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{16, 64, 128} {
+		t := randMat(n, n, rng)
+		for i := 0; i < n; i++ {
+			t[i*n+i] += float64(n)
+		}
+		x := randMat(n, n, rng)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Dtrsm(true, true, n, n, 1, t, n, x, n)
+			}
+		})
+	}
+}
+
+func BenchmarkDgetrf(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{32, 128, 256} {
+		orig := randMat(n, n, rng)
+		a := make([]float64, n*n)
+		ipiv := make([]int, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(a, orig)
+				if err := Dgetrf(n, n, a, n, ipiv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDgetf2Panel(b *testing.B) {
+	// Panel shapes from the factorization: tall and narrow.
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range [][2]int{{256, 8}, {512, 16}, {1024, 32}} {
+		m, w := shape[0], shape[1]
+		orig := randMat(m, w, rng)
+		a := make([]float64, m*w)
+		ipiv := make([]int, w)
+		b.Run(fmt.Sprintf("%dx%d", m, w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(a, orig)
+				if err := Dgetf2(m, w, a, w, ipiv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDgemv(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	n := 256
+	a := randMat(n, n, rng)
+	x := randVec(n, rng)
+	y := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dgemv(false, n, n, 1, a, n, x, 0, y)
+	}
+}

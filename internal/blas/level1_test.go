@@ -1,0 +1,116 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestDdot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Ddot(3, x, 1, y, 1); got != 32 {
+		t.Fatalf("Ddot = %g, want 32", got)
+	}
+}
+
+func TestDdotStrided(t *testing.T) {
+	x := []float64{1, 0, 2, 0, 3}
+	y := []float64{4, 5, 6}
+	if got := Ddot(3, x, 2, y, 1); got != 32 {
+		t.Fatalf("strided Ddot = %g, want 32", got)
+	}
+}
+
+func TestDaxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Daxpy(3, 2, x, 1, y, 1)
+	want := []float64{12, 24, 36}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Daxpy = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestDaxpyAlphaZeroNoop(t *testing.T) {
+	y := []float64{1, 2}
+	Daxpy(2, 0, []float64{9, 9}, 1, y, 1)
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatal("Daxpy with alpha=0 modified y")
+	}
+}
+
+func TestDscal(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	Dscal(2, 3, x, 2) // scales x[0], x[2]
+	want := []float64{3, 2, 9, 4}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("Dscal = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestIdamax(t *testing.T) {
+	if got := Idamax(4, []float64{1, -5, 3, 2}, 1); got != 1 {
+		t.Fatalf("Idamax = %d, want 1", got)
+	}
+	if got := Idamax(0, nil, 1); got != -1 {
+		t.Fatalf("Idamax(0) = %d, want -1", got)
+	}
+	// Ties keep the first occurrence like the reference BLAS.
+	if got := Idamax(3, []float64{2, -2, 2}, 1); got != 0 {
+		t.Fatalf("Idamax tie = %d, want 0", got)
+	}
+}
+
+func TestDnrm2(t *testing.T) {
+	if got := Dnrm2(2, []float64{3, 4}, 1); !almostEqual(got, 5, 1e-15) {
+		t.Fatalf("Dnrm2 = %g, want 5", got)
+	}
+	// Overflow guard: huge values must not overflow to +Inf.
+	big := 1e300
+	if got := Dnrm2(2, []float64{big, big}, 1); math.IsInf(got, 0) {
+		t.Fatal("Dnrm2 overflowed")
+	}
+	if got := Dnrm2(3, []float64{0, 0, 0}, 1); got != 0 {
+		t.Fatalf("Dnrm2 of zeros = %g", got)
+	}
+}
+
+func TestDcopyDswap(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	Dcopy(3, x, 1, y, 1)
+	for i := range y {
+		if y[i] != x[i] {
+			t.Fatal("Dcopy failed")
+		}
+	}
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	Dswap(2, a, 1, b, 1)
+	if a[0] != 3 || b[1] != 2 {
+		t.Fatal("Dswap failed")
+	}
+}
+
+func TestDasum(t *testing.T) {
+	if got := Dasum(3, []float64{-1, 2, -3}, 1); got != 6 {
+		t.Fatalf("Dasum = %g, want 6", got)
+	}
+}

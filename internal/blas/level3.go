@@ -1,0 +1,118 @@
+package blas
+
+// gemm micro-kernel block sizes, chosen so a block of B rows stays in L1.
+const (
+	gemmMC = 64
+	gemmKC = 128
+)
+
+// Dgemm computes C ← α·A·B + β·C for row-major matrices: A is m×k (lda),
+// B is k×n (ldb), C is m×n (ldc). Only the non-transposed case is
+// provided; the factorization arranges its operands so that suffices.
+//
+// The kernel uses the i-k-j loop order with k-blocking so the inner loop
+// is a contiguous AXPY over a row of B — the access pattern that lets the
+// Go compiler keep everything in registers and the hardware prefetcher
+// streaming.
+func Dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			row := c[i*ldc : i*ldc+n]
+			if beta == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+			} else {
+				for j := range row {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	for kb := 0; kb < k; kb += gemmKC {
+		kEnd := kb + gemmKC
+		if kEnd > k {
+			kEnd = k
+		}
+		for ib := 0; ib < m; ib += gemmMC {
+			iEnd := ib + gemmMC
+			if iEnd > m {
+				iEnd = m
+			}
+			for i := ib; i < iEnd; i++ {
+				crow := c[i*ldc : i*ldc+n]
+				arow := a[i*lda:]
+				for p := kb; p < kEnd; p++ {
+					aip := alpha * arow[p]
+					if aip == 0 {
+						continue
+					}
+					brow := b[p*ldb : p*ldb+n]
+					for j, v := range brow {
+						crow[j] += aip * v
+					}
+				}
+			}
+		}
+	}
+}
+
+// Dtrsm solves op(T)·X = α·B in place (B is overwritten with X) where T
+// is an m×m triangular matrix applied from the left. lower selects the
+// triangle of T, unit an implicit unit diagonal. B is m×n row-major with
+// leading dimension ldb.
+func Dtrsm(lower, unit bool, m, n int, alpha float64, t []float64, ldt int, b []float64, ldb int) {
+	if alpha != 1 {
+		for i := 0; i < m; i++ {
+			row := b[i*ldb : i*ldb+n]
+			for j := range row {
+				row[j] *= alpha
+			}
+		}
+	}
+	if lower {
+		for i := 0; i < m; i++ {
+			bi := b[i*ldb : i*ldb+n]
+			trow := t[i*ldt : i*ldt+i]
+			for p, tip := range trow {
+				if tip == 0 {
+					continue
+				}
+				bp := b[p*ldb : p*ldb+n]
+				for j, v := range bp {
+					bi[j] -= tip * v
+				}
+			}
+			if !unit {
+				d := 1 / t[i*ldt+i]
+				for j := range bi {
+					bi[j] *= d
+				}
+			}
+		}
+		return
+	}
+	for i := m - 1; i >= 0; i-- {
+		bi := b[i*ldb : i*ldb+n]
+		trow := t[i*ldt+i+1 : i*ldt+m]
+		for pj, tip := range trow {
+			if tip == 0 {
+				continue
+			}
+			p := i + 1 + pj
+			bp := b[p*ldb : p*ldb+n]
+			for j, v := range bp {
+				bi[j] -= tip * v
+			}
+		}
+		if !unit {
+			d := 1 / t[i*ldt+i]
+			for j := range bi {
+				bi[j] *= d
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package blas
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a pivot column is exactly zero.
+var ErrSingular = errors.New("blas: matrix is numerically singular")
+
+// Dlaswp applies the row interchanges recorded in ipiv to the m×n
+// row-major matrix a: for i = 0..len(ipiv)-1, row i is swapped with row
+// ipiv[i]. Applying the same ipiv again undoes the permutation only if
+// applied in reverse; the factorization always applies it forward.
+func Dlaswp(n int, a []float64, lda int, ipiv []int) {
+	for i, p := range ipiv {
+		if p != i {
+			Dswap(n, a[i*lda:], 1, a[p*lda:], 1)
+		}
+	}
+}
+
+// Dgetf2 computes the LU factorization with partial pivoting of an m×n
+// row-major matrix (m ≥ n panels are typical): A = P·L·U where L is unit
+// lower trapezoidal and U upper triangular, stored in place. ipiv must
+// have length min(m, n); on return ipiv[i] is the row swapped with row i
+// at step i. Returns ErrSingular if a pivot is exactly zero (the
+// factorization still completes the remaining columns, matching LAPACK's
+// info convention loosely).
+func Dgetf2(m, n int, a []float64, lda int, ipiv []int) error {
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	var singular bool
+	for j := 0; j < mn; j++ {
+		// Find pivot in column j, rows j..m-1.
+		p := j
+		best := math.Abs(a[j*lda+j])
+		for i := j + 1; i < m; i++ {
+			if v := math.Abs(a[i*lda+j]); v > best {
+				best, p = v, i
+			}
+		}
+		ipiv[j] = p
+		if best == 0 {
+			singular = true
+			continue
+		}
+		if p != j {
+			Dswap(n, a[j*lda:], 1, a[p*lda:], 1)
+		}
+		piv := a[j*lda+j]
+		inv := 1 / piv
+		for i := j + 1; i < m; i++ {
+			lij := a[i*lda+j] * inv
+			a[i*lda+j] = lij
+			if lij == 0 {
+				continue
+			}
+			arow := a[i*lda+j+1 : i*lda+n]
+			urow := a[j*lda+j+1 : j*lda+n]
+			for t, v := range urow {
+				arow[t] -= lij * v
+			}
+		}
+	}
+	if singular {
+		return ErrSingular
+	}
+	return nil
+}
+
+// Dgetrf computes a blocked LU factorization with partial pivoting of an
+// m×n row-major matrix, equivalent to Dgetf2 but using Dtrsm/Dgemm on
+// trailing blocks for cache efficiency. ipiv has length min(m, n).
+func Dgetrf(m, n int, a []float64, lda int, ipiv []int) error {
+	const nb = 48
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	if mn <= nb {
+		return Dgetf2(m, n, a, lda, ipiv)
+	}
+	var firstErr error
+	for j := 0; j < mn; j += nb {
+		jb := nb
+		if j+jb > mn {
+			jb = mn - j
+		}
+		// Factor the panel A[j:m, j:j+jb].
+		panel := a[j*lda+j:]
+		if err := Dgetf2(m-j, jb, panel, lda, ipiv[j:j+jb]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Convert panel-local pivot indices to global and apply the
+		// interchanges to the columns outside the panel.
+		for i := j; i < j+jb; i++ {
+			ipiv[i] += j
+			p := ipiv[i]
+			if p != i {
+				// Left of panel.
+				Dswap(j, a[i*lda:], 1, a[p*lda:], 1)
+				// Right of panel.
+				if j+jb < n {
+					Dswap(n-j-jb, a[i*lda+j+jb:], 1, a[p*lda+j+jb:], 1)
+				}
+			}
+		}
+		if j+jb < n {
+			// U block row: solve L11 · U12 = A12.
+			Dtrsm(true, true, jb, n-j-jb, 1, a[j*lda+j:], lda, a[j*lda+j+jb:], lda)
+			// Trailing update: A22 ← A22 − L21 · U12.
+			if j+jb < m {
+				Dgemm(m-j-jb, n-j-jb, jb, -1,
+					a[(j+jb)*lda+j:], lda,
+					a[j*lda+j+jb:], lda,
+					1, a[(j+jb)*lda+j+jb:], lda)
+			}
+		}
+	}
+	return firstErr
+}
+
+// Dgetrs solves A·x = b using the factorization computed by
+// Dgetrf/Dgetf2 on a square n×n matrix, overwriting b with the solution.
+func Dgetrs(n int, a []float64, lda int, ipiv []int, b []float64) {
+	for i, p := range ipiv {
+		if p != i {
+			b[i], b[p] = b[p], b[i]
+		}
+	}
+	Dtrsv(true, true, n, a, lda, b)   // L·y = Pb
+	Dtrsv(false, false, n, a, lda, b) // U·x = y
+}

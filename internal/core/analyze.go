@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/etree"
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+	"repro/internal/supernode"
+	"repro/internal/symbolic"
+	"repro/internal/taskgraph"
+	"repro/internal/transversal"
+)
+
+// Symbolic is the reusable output of the analysis pipeline. It depends
+// only on the sparsity structure of the matrix, so one analysis serves
+// any number of numeric factorizations with the same structure.
+type Symbolic struct {
+	N int
+	// RowPerm is the maximum-transversal row permutation (applied
+	// first): row i of A moves to row RowPerm[i].
+	RowPerm sparse.Perm
+	// SymPerm is the symmetric permutation applied after the transversal
+	// (fill-reducing ordering composed with the postorder).
+	SymPerm sparse.Perm
+	// Sym is the static symbolic factorization of the fully permuted
+	// matrix.
+	Sym *symbolic.Result
+	// Forest is its scalar LU elimination forest.
+	Forest *etree.Forest
+	// Part is the supernode partition (after amalgamation).
+	Part *supernode.Partition
+	// BlockSym is the static symbolic factorization of the supernode
+	// block matrix — the structure the numeric phase allocates and the
+	// task graph is built on.
+	BlockSym *symbolic.Result
+	// BlockForest is the LU eforest of the block matrix.
+	BlockForest *etree.Forest
+	// Graph is the task dependence graph (variant per Options).
+	Graph *taskgraph.Graph
+	// Costs estimates per-task flops for scheduling and simulation.
+	Costs *taskgraph.CostModel
+	// Stats summarizes the analysis.
+	Stats AnalysisStats
+	// Opts records the options the analysis ran with.
+	Opts Options
+}
+
+// AnalysisStats reports the quantities the paper's tables are built
+// from.
+type AnalysisStats struct {
+	N            int     // matrix order
+	NNZA         int     // nonzeros of A
+	NNZFactors   int     // |Ā| after static symbolic factorization
+	FillRatio    float64 // |Ā| / |A| (Table 1)
+	Supernodes   int     // supernode count after amalgamation
+	StrictSN     int     // supernode count before amalgamation (Table 3 SN/SNPO)
+	NumTrees     int     // trees in the scalar eforest = diagonal blocks of the BUT form (Table 3 NoBlks)
+	Blocks       int     // N of the block matrix
+	BlockNNZ     int     // structurally nonzero blocks
+	TaskCount    int
+	EdgeCount    int
+	TotalFlops   float64
+	CriticalPath float64 // flops along the weighted critical path
+}
+
+// Analyze runs the full structural pipeline of the paper on a square
+// sparse matrix.
+func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
+	o := opts.withDefaults()
+	if a.NRows != a.NCols {
+		return nil, fmt.Errorf("core: matrix must be square, got %d×%d", a.NRows, a.NCols)
+	}
+	n := a.NCols
+
+	// Step 0: zero-free diagonal via maximum transversal [Duff '81].
+	tr := transversal.MaximumTransversal(a)
+	if !tr.StructurallyNonsingular() {
+		return nil, fmt.Errorf("core: matrix is structurally singular (%d of %d columns matched)", tr.MatchedCols, n)
+	}
+	a1 := a.PermuteRows(tr.RowPerm)
+
+	// Step 1: fill-reducing ordering, applied symmetrically so the
+	// zero-free diagonal survives.
+	fill := ordering.ColumnOrdering(a1, o.Ordering)
+	a2 := a1.PermuteSym(fill)
+
+	// Step 2: static symbolic factorization (George & Ng).
+	sym, err := symbolic.Factor(a2)
+	if err != nil {
+		return nil, fmt.Errorf("core: symbolic factorization: %w", err)
+	}
+	forest := etree.LUForest(sym)
+
+	// Step 3: postorder the LU eforest (Theorem 3 lets us relabel the
+	// symbolic result instead of refactoring).
+	symPerm := fill
+	if o.Postorder {
+		po := etree.PostorderSymbolic(sym, forest)
+		sym = po.Sym
+		forest = po.Forest
+		symPerm = fill.Compose(po.Perm)
+	}
+
+	// Step 4: L/U supernode partition and amalgamation.
+	strict := supernode.StrictPartition(sym)
+	part := supernode.Amalgamate(strict, sym, o.Amalgamation)
+
+	// Step 5: block structure, closed under block-level elimination so
+	// that the task graph theorems and the numeric phase can rely on the
+	// static fixed-point properties at block granularity.
+	bp := supernode.BlockPattern(sym, part)
+	blockSym, err := symbolic.Factor(bp.ToCSC(1))
+	if err != nil {
+		return nil, fmt.Errorf("core: block symbolic factorization: %w", err)
+	}
+	blockForest := etree.LUForest(blockSym)
+
+	// Step 6: task dependence graph and cost model.
+	graph := taskgraph.New(blockSym, blockForest, o.TaskGraph)
+	costs := taskgraph.NewCostModel(graph, blockSym, part)
+
+	cp, total, err := graph.CriticalPath(costs.TaskFlops)
+	if err != nil {
+		return nil, fmt.Errorf("core: task graph: %w", err)
+	}
+
+	s := &Symbolic{
+		N:           n,
+		RowPerm:     tr.RowPerm,
+		SymPerm:     symPerm,
+		Sym:         sym,
+		Forest:      forest,
+		Part:        part,
+		BlockSym:    blockSym,
+		BlockForest: blockForest,
+		Graph:       graph,
+		Costs:       costs,
+		Opts:        *o,
+		Stats: AnalysisStats{
+			N:            n,
+			NNZA:         a.NNZ(),
+			NNZFactors:   sym.NNZ(),
+			FillRatio:    sym.FillRatio(a.NNZ()),
+			Supernodes:   part.NumBlocks(),
+			StrictSN:     strict.NumBlocks(),
+			NumTrees:     forest.NumTrees(),
+			Blocks:       blockSym.N,
+			BlockNNZ:     blockSym.NNZ(),
+			TaskCount:    graph.NumTasks(),
+			EdgeCount:    graph.NumEdges,
+			TotalFlops:   total,
+			CriticalPath: cp,
+		},
+	}
+	return s, nil
+}
+
+// PermuteInput applies the analysis permutations to the original matrix,
+// producing the matrix the numeric phase actually factors.
+func (s *Symbolic) PermuteInput(a *sparse.CSC) *sparse.CSC {
+	return a.PermuteRows(s.RowPerm).PermuteSym(s.SymPerm)
+}

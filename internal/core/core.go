@@ -1,0 +1,68 @@
+// Package core assembles the paper's complete system: the analysis
+// pipeline (maximum transversal → fill-reducing ordering → static
+// symbolic factorization → LU elimination forest → postordering →
+// supernode partition → block structure → task dependence graph) and the
+// parallel supernodal numeric LU factorization with partial pivoting
+// that runs on top of it, plus the triangular solves.
+//
+// Pivoting follows S+: row interchanges are confined to the static row
+// set of each supernode panel and are applied lazily, per destination
+// block column, by the Update tasks. Updates from independent subtrees
+// of the LU eforest touch disjoint block rows (the branch property of
+// the static structure), which is what makes the paper's reduced task
+// dependence graph — and bitwise-deterministic parallel execution —
+// possible.
+package core
+
+import (
+	"repro/internal/ordering"
+	"repro/internal/supernode"
+	"repro/internal/taskgraph"
+)
+
+// Options configures the analysis and factorization.
+type Options struct {
+	// Ordering selects the fill-reducing ordering (default: minimum
+	// degree on AᵀA, the paper's choice).
+	Ordering ordering.Method
+	// Postorder enables the paper's postordering of the LU elimination
+	// forest (Section 3). Default true.
+	Postorder bool
+	// TaskGraph selects the dependence structure (default: the paper's
+	// eforest-guided graph; SStar is the baseline).
+	TaskGraph taskgraph.Variant
+	// Workers is the number of parallel workers for the numeric phase;
+	// values < 1 mean 1.
+	Workers int
+	// Amalgamation tunes supernode amalgamation.
+	Amalgamation supernode.AmalgamationOptions
+	// Equilibrate scales rows and columns to unit maxima before
+	// factoring (LAPACK dgeequ style); improves pivots on badly scaled
+	// systems. Solves transparently undo the scaling.
+	Equilibrate bool
+}
+
+// DefaultOptions returns the configuration used for the paper's headline
+// experiments.
+func DefaultOptions() *Options {
+	return &Options{
+		Ordering:     ordering.MinDegreeATA,
+		Postorder:    true,
+		TaskGraph:    taskgraph.EForest,
+		Workers:      1,
+		Amalgamation: supernode.AmalgamationOptions{MaxSize: 32, MaxFill: 0.25},
+	}
+}
+
+func (o *Options) withDefaults() *Options {
+	var out Options
+	if o == nil {
+		out = *DefaultOptions()
+	} else {
+		out = *o
+	}
+	if out.Workers < 1 {
+		out.Workers = 1
+	}
+	return &out
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/blas"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+	"repro/internal/taskgraph"
+)
+
+// ErrNumericallySingular is returned when a panel factorization meets an
+// exactly zero pivot column.
+var ErrNumericallySingular = errors.New("core: matrix is numerically singular")
+
+// blockCol is the dense stacked storage of one block column: all of its
+// structurally present blocks concatenated by ascending block row, each
+// block dense. The L panel (diagonal block and below) is the contiguous
+// tail, which is what the panel factorization and the TRSM/GEMM kernels
+// operate on.
+type blockCol struct {
+	width     int
+	blockRows []int       // ascending block-row ids present in this column
+	offsets   []int       // row offset of each block within data (parallel to blockRows)
+	offsetOf  map[int]int // block row id -> row offset within data
+	diagIdx   int         // index into blockRows of the diagonal block
+	rows      int         // total scalar rows stacked
+	data      []float64   // rows × width, row-major, lda = width
+}
+
+// panelOffset returns the row offset where the L panel starts.
+func (c *blockCol) panelOffset() int { return c.offsets[c.diagIdx] }
+
+// Factorization holds the numeric factors in supernodal block storage
+// together with the analysis that produced them.
+type Factorization struct {
+	S    *Symbolic
+	cols []blockCol
+	// ipiv[K] holds the panel-local pivot row indices of block column K:
+	// at local column c, panel row c was swapped with panel row ipiv[K][c].
+	ipiv [][]int
+	// panelRows[K] lists the global scalar rows of panel K in stack order.
+	panelRows [][]int
+	// rscale/cscale hold the equilibration factors (nil when disabled):
+	// the factored matrix is R·A₂·C in the permuted index space.
+	rscale, cscale []float64
+	singular       atomic.Bool
+}
+
+// Singular reports whether any panel hit an exactly zero pivot.
+func (f *Factorization) Singular() bool { return f.singular.Load() }
+
+// Factorize runs analysis and numeric factorization in one call.
+func Factorize(a *sparse.CSC, opts *Options) (*Factorization, error) {
+	s, err := Analyze(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	return FactorizeWith(s, a)
+}
+
+// FactorizeWith performs the numeric factorization of a using an
+// existing analysis (a must have the structure the analysis was computed
+// from). The number of workers comes from the analysis options.
+func FactorizeWith(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
+	f, err := newFactorization(s, a)
+	if err != nil {
+		return nil, err
+	}
+	workers := s.Opts.Workers
+	owner := sched.BlockCyclic(s.BlockSym.N, workers)
+	prio, err := s.Graph.BottomLevels(s.Costs.TaskFlops)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Execute(s.Graph, owner, workers, prio, f.runTask); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorizeGlobal is FactorizeWith with task-level scheduling: workers
+// pull any ready task from a shared queue instead of owning block
+// columns, matching the paper's RAPID runtime on shared memory.
+// Unordered tasks touch disjoint rows (the branch property), so the
+// concurrent writes are race-free for both dependence-graph variants.
+func FactorizeGlobal(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
+	f, err := newFactorization(s, a)
+	if err != nil {
+		return nil, err
+	}
+	prio, err := s.Graph.BottomLevels(s.Costs.TaskFlops)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.ExecuteGlobal(s.Graph, s.Opts.Workers, prio, f.runTask); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// newFactorization allocates the block storage and scatters the numeric
+// values of the permuted matrix into it.
+func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
+	if a.NRows != s.N || a.NCols != s.N {
+		return nil, fmt.Errorf("core: matrix is %d×%d, analysis is for order %d", a.NRows, a.NCols, s.N)
+	}
+	nb := s.BlockSym.N
+	f := &Factorization{
+		S:         s,
+		cols:      make([]blockCol, nb),
+		ipiv:      make([][]int, nb),
+		panelRows: make([][]int, nb),
+	}
+	part := s.Part
+	for j := 0; j < nb; j++ {
+		c := &f.cols[j]
+		c.width = part.Size(j)
+		ublocks := s.BlockSym.U.Col(j) // rows ≤ j, ends at diagonal
+		lblocks := s.BlockSym.L.Col(j) // rows ≥ j, starts at diagonal
+		c.blockRows = make([]int, 0, len(ublocks)+len(lblocks)-1)
+		c.blockRows = append(c.blockRows, ublocks[:len(ublocks)-1]...)
+		c.diagIdx = len(c.blockRows)
+		c.blockRows = append(c.blockRows, lblocks...)
+		c.offsets = make([]int, len(c.blockRows))
+		c.offsetOf = make(map[int]int, len(c.blockRows))
+		off := 0
+		for t, br := range c.blockRows {
+			c.offsets[t] = off
+			c.offsetOf[br] = off
+			off += part.Size(br)
+		}
+		c.rows = off
+		c.data = make([]float64, off*c.width)
+
+		// Panel row list (global scalar rows of the L part).
+		pr := make([]int, 0, off-c.panelOffset())
+		for t := c.diagIdx; t < len(c.blockRows); t++ {
+			lo, hi := part.Range(c.blockRows[t])
+			for g := lo; g < hi; g++ {
+				pr = append(pr, g)
+			}
+		}
+		f.panelRows[j] = pr
+	}
+
+	// Scatter the permuted numeric values, equilibrated if requested.
+	ap := s.PermuteInput(a)
+	if s.Opts.Equilibrate {
+		f.rscale, f.cscale = Equilibrate(ap)
+		ap = applyScaling(ap, f.rscale, f.cscale)
+	}
+	for j := 0; j < s.N; j++ {
+		bj := part.ColToBlock[j]
+		c := &f.cols[bj]
+		lc := j - part.BlockStart[bj]
+		rows, vals := ap.Col(j)
+		for k, i := range rows {
+			off, err := f.rowOffset(c, i)
+			if err != nil {
+				return nil, fmt.Errorf("core: entry (%d,%d) outside the block structure: %w", i, j, err)
+			}
+			c.data[off*c.width+lc] = vals[k]
+		}
+	}
+	return f, nil
+}
+
+// rowOffset locates the stacked row offset of global scalar row g in
+// block column c.
+func (f *Factorization) rowOffset(c *blockCol, g int) (int, error) {
+	part := f.S.Part
+	bi := part.ColToBlock[g]
+	base, ok := c.offsetOf[bi]
+	if !ok {
+		return 0, fmt.Errorf("block row %d not present", bi)
+	}
+	return base + g - part.BlockStart[bi], nil
+}
+
+// runTask dispatches one task of the dependence graph.
+func (f *Factorization) runTask(id int) {
+	t := f.S.Graph.Tasks[id]
+	if t.Kind == taskgraph.Factor {
+		f.factorPanel(t.K)
+	} else {
+		f.update(t.K, t.J)
+	}
+}
+
+// factorPanel performs task F(K): dense LU with partial pivoting on the
+// stacked L panel of block column K. Pivoting is confined to the panel's
+// static row set, which the George–Ng structure is closed under.
+func (f *Factorization) factorPanel(k int) {
+	c := &f.cols[k]
+	w := c.width
+	po := c.panelOffset()
+	m := c.rows - po
+	panel := c.data[po*w:]
+	ipiv := make([]int, w)
+	if err := blas.Dgetf2(m, w, panel, w, ipiv); err != nil {
+		f.singular.Store(true)
+	}
+	f.ipiv[k] = ipiv
+}
+
+// update performs task U(K, J): replay panel K's pivot interchanges on
+// block column J, solve for the U block with the unit-lower diagonal
+// factor of K, and apply the Schur updates of K's sub-diagonal blocks.
+func (f *Factorization) update(k, j int) {
+	colK := &f.cols[k]
+	colJ := &f.cols[j]
+	wk, wj := colK.width, colJ.width
+	part := f.S.Part
+
+	// 1. Replay σ_K on the rows of column J that lie in panel K. All of
+	// panel K's block rows are present in column J because the block
+	// structure is a static fixed point (candidate rows share structure).
+	prows := f.panelRows[k]
+	for c, r := range f.ipiv[k] {
+		if r == c {
+			continue
+		}
+		o1, err1 := f.rowOffset(colJ, prows[c])
+		o2, err2 := f.rowOffset(colJ, prows[r])
+		if err1 != nil || err2 != nil {
+			panic(fmt.Sprintf("core: pivot row of panel %d missing in column %d: %v %v", k, j, err1, err2))
+		}
+		blas.Dswap(wj, colJ.data[o1*wj:], 1, colJ.data[o2*wj:], 1)
+	}
+
+	// 2. U(K,J) ← L(K,K)⁻¹ · B(K,J).
+	diag := colK.data[colK.panelOffset()*wk:]
+	bkjOff, ok := colJ.offsetOf[k]
+	if !ok {
+		panic(fmt.Sprintf("core: block (%d,%d) missing", k, j))
+	}
+	bkj := colJ.data[bkjOff*wj:]
+	blas.Dtrsm(true, true, wk, wj, 1, diag, wk, bkj, wj)
+
+	// 3. B(I,J) ← B(I,J) − L(I,K)·U(K,J) for every sub-diagonal block of
+	// panel K.
+	for t := colK.diagIdx + 1; t < len(colK.blockRows); t++ {
+		i := colK.blockRows[t]
+		szI := part.Size(i)
+		lik := colK.data[colK.offsets[t]*wk:]
+		dstOff, ok := colJ.offsetOf[i]
+		if !ok {
+			panic(fmt.Sprintf("core: update target block (%d,%d) missing", i, j))
+		}
+		dst := colJ.data[dstOff*wj:]
+		blas.Dgemm(szI, wj, wk, -1, lik, wk, bkj, wj, 1, dst, wj)
+	}
+}

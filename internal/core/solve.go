@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/sparse"
+)
+
+// Solve solves A·x = b for the original (unpermuted) matrix the
+// factorization was computed from. b is not modified.
+func (f *Factorization) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.S.N {
+		return nil, fmt.Errorf("core: rhs has length %d, want %d", len(b), f.S.N)
+	}
+	if f.Singular() {
+		return nil, ErrNumericallySingular
+	}
+	// A x = b  ⇒  (P_sym P_row A P_symᵀ)(P_sym x) = P_sym P_row b.
+	// With equilibration, (R·A₂·C)(C⁻¹·P_sym x) = R·P_sym P_row b.
+	y := f.S.SymPerm.Apply(f.S.RowPerm.Apply(b))
+	if f.rscale != nil {
+		for i := range y {
+			y[i] *= f.rscale[i]
+		}
+	}
+	f.solveInPlace(y)
+	if f.cscale != nil {
+		for i := range y {
+			y[i] *= f.cscale[i]
+		}
+	}
+	return f.S.SymPerm.ApplyInverse(y), nil
+}
+
+// SolvePermuted solves the factored (permuted) system in place: on
+// entry y is the right-hand side in the permuted ordering, on return it
+// holds the solution in the permuted ordering.
+func (f *Factorization) SolvePermuted(y []float64) {
+	f.solveInPlace(y)
+}
+
+func (f *Factorization) solveInPlace(y []float64) {
+	part := f.S.Part
+	nb := f.S.BlockSym.N
+
+	// Forward sweep: replay each panel's interchanges at its step, solve
+	// the unit-lower diagonal block, then propagate to the sub-diagonal
+	// blocks. Block rows are contiguous scalar index ranges, so the
+	// relevant pieces of y are contiguous.
+	for k := 0; k < nb; k++ {
+		c := &f.cols[k]
+		w := c.width
+		prows := f.panelRows[k]
+		for lc, r := range f.ipiv[k] {
+			if r != lc {
+				y[prows[lc]], y[prows[r]] = y[prows[r]], y[prows[lc]]
+			}
+		}
+		lo, _ := part.Range(k)
+		yk := y[lo : lo+w]
+		diag := c.data[c.panelOffset()*w:]
+		blas.Dtrsv(true, true, w, diag, w, yk)
+		for t := c.diagIdx + 1; t < len(c.blockRows); t++ {
+			i := c.blockRows[t]
+			ilo, ihi := part.Range(i)
+			blas.Dgemv(false, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, yk, 1, y[ilo:ihi])
+		}
+	}
+
+	// Backward sweep: solve the upper-triangular diagonal block of K,
+	// then subtract U(I,K)·x_K from the rows of every block above.
+	for k := nb - 1; k >= 0; k-- {
+		c := &f.cols[k]
+		w := c.width
+		lo, _ := part.Range(k)
+		xk := y[lo : lo+w]
+		diag := c.data[c.panelOffset()*w:]
+		blas.Dtrsv(false, false, w, diag, w, xk)
+		for t := 0; t < c.diagIdx; t++ {
+			i := c.blockRows[t]
+			ilo, ihi := part.Range(i)
+			blas.Dgemv(false, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, xk, 1, y[ilo:ihi])
+		}
+	}
+}
+
+// SolveMany solves A·X = B for several right-hand sides at once with
+// blocked BLAS-3 sweeps (Dtrsm/Dgemm on an n×nrhs panel), which is
+// substantially faster than repeated single-vector solves once nrhs is
+// more than a couple. The inputs are not modified.
+func (f *Factorization) SolveMany(bs [][]float64) ([][]float64, error) {
+	if f.Singular() {
+		return nil, ErrNumericallySingular
+	}
+	nrhs := len(bs)
+	if nrhs == 0 {
+		return nil, nil
+	}
+	n := f.S.N
+	for r, b := range bs {
+		if len(b) != n {
+			return nil, fmt.Errorf("core: rhs %d has length %d, want %d", r, len(b), n)
+		}
+	}
+	// Pack the permuted (and scaled) right-hand sides as a row-major
+	// n×nrhs panel.
+	y := make([]float64, n*nrhs)
+	for r, b := range bs {
+		pb := f.S.SymPerm.Apply(f.S.RowPerm.Apply(b))
+		if f.rscale != nil {
+			for i := range pb {
+				pb[i] *= f.rscale[i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			y[i*nrhs+r] = pb[i]
+		}
+	}
+
+	part := f.S.Part
+	nb := f.S.BlockSym.N
+	// Forward sweep.
+	for k := 0; k < nb; k++ {
+		c := &f.cols[k]
+		w := c.width
+		prows := f.panelRows[k]
+		for lc, rr := range f.ipiv[k] {
+			if rr != lc {
+				blas.Dswap(nrhs, y[prows[lc]*nrhs:], 1, y[prows[rr]*nrhs:], 1)
+			}
+		}
+		lo, _ := part.Range(k)
+		diag := c.data[c.panelOffset()*w:]
+		blas.Dtrsm(true, true, w, nrhs, 1, diag, w, y[lo*nrhs:], nrhs)
+		for t := c.diagIdx + 1; t < len(c.blockRows); t++ {
+			i := c.blockRows[t]
+			ilo, ihi := part.Range(i)
+			blas.Dgemm(ihi-ilo, nrhs, w, -1, c.data[c.offsets[t]*w:], w, y[lo*nrhs:], nrhs, 1, y[ilo*nrhs:], nrhs)
+		}
+	}
+	// Backward sweep.
+	for k := nb - 1; k >= 0; k-- {
+		c := &f.cols[k]
+		w := c.width
+		lo, _ := part.Range(k)
+		diag := c.data[c.panelOffset()*w:]
+		blas.Dtrsm(false, false, w, nrhs, 1, diag, w, y[lo*nrhs:], nrhs)
+		for t := 0; t < c.diagIdx; t++ {
+			i := c.blockRows[t]
+			ilo, ihi := part.Range(i)
+			blas.Dgemm(ihi-ilo, nrhs, w, -1, c.data[c.offsets[t]*w:], w, y[lo*nrhs:], nrhs, 1, y[ilo*nrhs:], nrhs)
+		}
+	}
+
+	// Unpack, unscale, unpermute.
+	out := make([][]float64, nrhs)
+	col := make([]float64, n)
+	for r := 0; r < nrhs; r++ {
+		for i := 0; i < n; i++ {
+			col[i] = y[i*nrhs+r]
+		}
+		if f.cscale != nil {
+			for i := range col {
+				col[i] *= f.cscale[i]
+			}
+		}
+		out[r] = f.S.SymPerm.ApplyInverse(col)
+	}
+	return out, nil
+}
+
+// Residual returns ‖A·x − b‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞), the standard
+// scaled backward-error estimate, for the original system.
+func Residual(a *sparse.CSC, x, b []float64) float64 {
+	r := make([]float64, len(b))
+	a.MulVec(x, r)
+	num := 0.0
+	for i := range r {
+		if d := math.Abs(r[i] - b[i]); d > num {
+			num = d
+		}
+	}
+	xinf := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > xinf {
+			xinf = a
+		}
+	}
+	binf := 0.0
+	for _, v := range b {
+		if a := math.Abs(v); a > binf {
+			binf = a
+		}
+	}
+	den := a.NormInf()*xinf + binf
+	if den == 0 {
+		return num
+	}
+	return num / den
+}

@@ -1,0 +1,45 @@
+package gplu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+)
+
+func BenchmarkGilbertPeierls(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{200, 800} {
+		a := randomSystem(n, 8.0/float64(n), rng)
+		q := ordering.ColumnOrdering(a, ordering.MinDegreeATA)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Factor(a, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGPSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	a := randomSystem(n, 8.0/float64(n), rng)
+	f, err := Factor(a, sparse.Identity(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package gplu
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/transversal"
+)
+
+func randomSystem(n int, density float64, rng *rand.Rand) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	rowAbs := make([]float64, n)
+	type entry struct {
+		i, j int
+		v    float64
+	}
+	var es []entry
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				v := rng.NormFloat64()
+				es = append(es, entry{i, j, v})
+				rowAbs[i] += math.Abs(v)
+			}
+		}
+	}
+	for _, e := range es {
+		t.Add(e.i, e.j, e.v)
+	}
+	for i := 0; i < n; i++ {
+		t.Add(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return t.ToCSC()
+}
+
+func TestSolveSmall(t *testing.T) {
+	// [2 1; 1 3] x = [3, 4] → x = [1, 1]
+	tr := sparse.NewTriplet(2, 2)
+	tr.Add(0, 0, 2)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 0, 1)
+	tr.Add(1, 1, 3)
+	f, err := Factor(tr.ToCSC(), sparse.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Solve([]float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-14 || math.Abs(x[1]-1) > 1e-14 {
+		t.Fatalf("x = %v, want [1 1]", x)
+	}
+}
+
+func TestSolveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(50)
+		a := randomSystem(n, 0.15, rng)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		f, err := Factor(a, sparse.Identity(n))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dense reference.
+		d := a.ToDense()
+		ipiv := make([]int, n)
+		if err := blas.Dgetrf(n, n, d, n, ipiv); err != nil {
+			t.Fatal(err)
+		}
+		want := append([]float64(nil), b...)
+		blas.Dgetrs(n, d, n, ipiv, want)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestColumnPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	a := randomSystem(30, 0.12, rng)
+	q := ordering.ColumnOrdering(a, ordering.MinDegreeATA)
+	f, err := Factor(a, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := core.Residual(a, x, b); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestPivotingRequired(t *testing.T) {
+	// Zero on the diagonal: without pivoting this would fail.
+	tr := sparse.NewTriplet(2, 2)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 0, 1)
+	f, err := Factor(tr.ToCSC(), sparse.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Solve([]float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Fatalf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	tr := sparse.NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 1, 2)
+	tr.Add(1, 0, 2)
+	tr.Add(1, 1, 4)
+	_, err := Factor(tr.ToCSC(), sparse.Identity(2))
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	tr := sparse.NewTriplet(2, 3)
+	tr.Add(0, 0, 1)
+	if _, err := Factor(tr.ToCSC(), sparse.Identity(3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	sq := sparse.NewTriplet(2, 2)
+	sq.Add(0, 0, 1)
+	sq.Add(1, 1, 1)
+	if _, err := Factor(sq.ToCSC(), sparse.Perm{0, 0}); err == nil {
+		t.Fatal("bad permutation accepted")
+	}
+	f, _ := Factor(sq.ToCSC(), sparse.Identity(2))
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Fatal("wrong rhs length accepted")
+	}
+}
+
+// The George–Ng guarantee at the heart of the paper: the dynamic fill
+// discovered by Gilbert–Peierls is always contained in the static bound
+// |Ā|, when both operate on the same pre-permuted matrix.
+func TestDynamicFillWithinStaticBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(40)
+		a := randomSystem(n, 0.1, rng)
+		tr := transversal.MaximumTransversal(a)
+		perm := ordering.ColumnOrdering(a.PermuteRows(tr.RowPerm), ordering.MinDegreeATA)
+		ap := a.PermuteRows(tr.RowPerm).PermuteSym(perm)
+
+		sym, err := symbolic.Factor(ap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Factor(ap, sparse.Identity(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.FactorNNZ() > sym.NNZ() {
+			t.Fatalf("trial %d: dynamic fill %d exceeds static bound %d", trial, f.FactorNNZ(), sym.NNZ())
+		}
+	}
+}
+
+func TestFillCountsPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	a := randomSystem(40, 0.1, rng)
+	f, err := Factor(a, sparse.Identity(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LNNZ() < 40 || f.UNNZ() < 40 {
+		t.Fatalf("factor sizes too small: L %d, U %d", f.LNNZ(), f.UNNZ())
+	}
+	if f.FactorNNZ() < a.NNZ() {
+		t.Fatalf("factor entries %d below nnz(A) %d", f.FactorNNZ(), a.NNZ())
+	}
+}
+
+func TestRowPermIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	a := randomSystem(25, 0.15, rng)
+	f, err := Factor(a, sparse.Identity(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.CheckPerm(f.RowPerm, 25); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GP and the supernodal static pipeline produce the same
+// solution on random well-conditioned systems.
+func TestQuickAgreesWithStaticPipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(35)
+		a := randomSystem(n, 0.12, rng)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		gf, err := Factor(a, ordering.ColumnOrdering(a, ordering.MinDegreeATA))
+		if err != nil {
+			return false
+		}
+		xg, err := gf.Solve(b)
+		if err != nil {
+			return false
+		}
+		sf, err := core.Factorize(a, core.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		xs, err := sf.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range xg {
+			if math.Abs(xg[i]-xs[i]) > 1e-7*(1+math.Abs(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package matgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/transversal"
+)
+
+func TestSuiteOrders(t *testing.T) {
+	// Orders must match the paper's Table 1 matrices exactly.
+	want := map[string]int{
+		"sherman3": 5005,
+		"sherman5": 3312,
+		"lnsp3937": 3937,
+		"lns3937":  3937,
+		"orsreg1":  2205,
+		"saylr4":   3564,
+		"goodwin":  7320,
+	}
+	for _, spec := range Suite() {
+		a := spec.Gen()
+		if a.NCols != want[spec.Name] {
+			t.Errorf("%s: order %d, want %d", spec.Name, a.NCols, want[spec.Name])
+		}
+		if a.NRows != a.NCols {
+			t.Errorf("%s: not square", spec.Name)
+		}
+	}
+}
+
+func TestSuiteStructure(t *testing.T) {
+	for _, spec := range Suite() {
+		a := spec.Gen()
+		if !a.HasZeroFreeDiagonal() {
+			t.Errorf("%s: diagonal has structural zeros", spec.Name)
+		}
+		r := transversal.MaximumTransversal(a)
+		if !r.StructurallyNonsingular() {
+			t.Errorf("%s: structurally singular", spec.Name)
+		}
+		// Reasonable sparsity: between 3 and 20 entries per row.
+		perRow := float64(a.NNZ()) / float64(a.NCols)
+		if perRow < 3 || perRow > 20 {
+			t.Errorf("%s: %g entries per row out of the expected range", spec.Name, perRow)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, spec := range Suite() {
+		a := spec.Gen()
+		b := spec.Gen()
+		if !a.Equal(b) {
+			t.Errorf("%s: generator is not deterministic", spec.Name)
+		}
+	}
+}
+
+func TestStructuralUnsymmetry(t *testing.T) {
+	// lnsp must be pattern-unsymmetric, lns pattern-symmetric with
+	// unsymmetric values.
+	lnsp := Lnsp3937()
+	unsymCount := 0
+	for j := 0; j < lnsp.NCols; j++ {
+		rows, _ := lnsp.Col(j)
+		for _, i := range rows {
+			if !lnsp.Has(j, i) {
+				unsymCount++
+			}
+		}
+	}
+	if unsymCount == 0 {
+		t.Error("lnsp3937 stand-in is pattern-symmetric")
+	}
+	lns := Lns3937()
+	for j := 0; j < lns.NCols; j++ {
+		rows, _ := lns.Col(j)
+		for _, i := range rows {
+			if !lns.Has(j, i) {
+				t.Fatalf("lns3937 stand-in has pattern-unsymmetric entry (%d,%d)", i, j)
+			}
+		}
+	}
+	valueUnsym := false
+	for j := 0; j < lns.NCols && !valueUnsym; j++ {
+		rows, vals := lns.Col(j)
+		for k, i := range rows {
+			if i != j && lns.At(j, i) != vals[k] {
+				valueUnsym = true
+				break
+			}
+		}
+	}
+	if !valueUnsym {
+		t.Error("lns3937 stand-in is value-symmetric")
+	}
+}
+
+func TestSmallSuiteFactorizable(t *testing.T) {
+	// Every small-suite matrix must run through the full pipeline and
+	// solve to tight backward error.
+	rng := rand.New(rand.NewSource(7))
+	for _, spec := range SmallSuite() {
+		a := spec.Gen()
+		n := a.NCols
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		opts := core.DefaultOptions()
+		opts.Workers = 2
+		f, err := core.Factorize(a, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if r := core.Residual(a, x, b); r > 1e-9 {
+			t.Fatalf("%s: residual %g", spec.Name, r)
+		}
+	}
+}
+
+func TestSmallSuiteShapes(t *testing.T) {
+	for _, spec := range SmallSuite() {
+		a := spec.Gen()
+		if a.NCols < 100 {
+			t.Errorf("%s: suspiciously small (%d)", spec.Name, a.NCols)
+		}
+		if a.NCols > 2500 {
+			t.Errorf("%s: too large for the small suite (%d)", spec.Name, a.NCols)
+		}
+		if !a.HasZeroFreeDiagonal() {
+			t.Errorf("%s: diagonal has structural zeros", spec.Name)
+		}
+	}
+}
+
+func TestDropProbThinsMatrix(t *testing.T) {
+	full := oilReservoir3D(10, 10, 4, 0, 42)
+	thin := oilReservoir3D(10, 10, 4, 0.4, 42)
+	if thin.NNZ() >= full.NNZ() {
+		t.Fatalf("dropProb did not thin: %d vs %d", thin.NNZ(), full.NNZ())
+	}
+	if !thin.HasZeroFreeDiagonal() {
+		t.Fatal("thinned matrix lost its diagonal")
+	}
+}
+
+func TestImplicitReservoirBlocks(t *testing.T) {
+	a := implicitReservoir(3, 3, 2, 3, 9)
+	if a.NCols != 3*3*2*3 {
+		t.Fatalf("order %d", a.NCols)
+	}
+	// Intra-cell blocks must be dense-ish: each unknown couples to at
+	// least one other unknown in its cell.
+	for c := 0; c < 3*3*2; c++ {
+		base := c * 3
+		found := false
+		for aOff := 0; aOff < 3 && !found; aOff++ {
+			for bOff := 0; bOff < 3; bOff++ {
+				if aOff != bOff && a.Has(base+aOff, base+bOff) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("cell %d has no intra-cell coupling", c)
+		}
+	}
+}
+
+func TestFem2DConnectivity(t *testing.T) {
+	a := fem2D(5, 4, 3)
+	if a.NCols != 6*5 {
+		t.Fatalf("order %d, want 30", a.NCols)
+	}
+	// An interior node must couple to all 8 neighbours.
+	cols := 6
+	v := 2*cols + 2
+	neighbours := []int{v - 1, v + 1, v - cols, v + cols, v - cols - 1, v - cols + 1, v + cols - 1, v + cols + 1}
+	for _, u := range neighbours {
+		if !a.Has(v, u) {
+			t.Fatalf("interior node %d not coupled to neighbour %d", v, u)
+		}
+	}
+}
+
+func TestSuiteAgainstTransversalAndPerm(t *testing.T) {
+	// The generators produce valid CSC invariants (sorted, in-range).
+	for _, spec := range SmallSuite() {
+		a := spec.Gen()
+		for j := 0; j < a.NCols; j++ {
+			rows, _ := a.Col(j)
+			for k := 1; k < len(rows); k++ {
+				if rows[k-1] >= rows[k] {
+					t.Fatalf("%s: column %d rows unsorted", spec.Name, j)
+				}
+			}
+		}
+		_ = sparse.PatternOf(a)
+	}
+}

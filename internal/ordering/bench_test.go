@@ -1,0 +1,25 @@
+package ordering
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMinimumDegree(b *testing.B) {
+	for _, side := range []int{16, 32, 48} {
+		g := grid2DPattern(side, side)
+		b.Run(fmt.Sprintf("grid%dx%d", side, side), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MinimumDegree(g)
+			}
+		})
+	}
+}
+
+func BenchmarkReverseCuthillMcKee(b *testing.B) {
+	g := grid2DPattern(48, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReverseCuthillMcKee(g)
+	}
+}

@@ -1,0 +1,192 @@
+// Package ordering provides fill-reducing column orderings for sparse LU.
+// The paper's pipeline step (1) applies the minimum degree algorithm to
+// the pattern of AᵀA; RCM and the natural ordering are provided as
+// ablation baselines.
+package ordering
+
+import (
+	"repro/internal/sparse"
+)
+
+// MinimumDegree orders the vertices of a symmetric sparsity pattern g
+// (given as the structure of a symmetric matrix, diagonal ignored) by the
+// minimum-degree heuristic using a quotient-graph representation with
+// element absorption and exact external degrees. It returns a
+// permutation in scatter convention: perm[old] = new elimination
+// position.
+func MinimumDegree(g *sparse.Pattern) sparse.Perm {
+	if g.NRows != g.NCols {
+		panic("ordering: MinimumDegree needs a square (symmetric) pattern")
+	}
+	n := g.NCols
+	if n == 0 {
+		return sparse.Perm{}
+	}
+
+	// Variable adjacency (dynamic), element boundaries, and the element
+	// lists of each variable.
+	adj := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		col := g.Col(j)
+		lst := make([]int32, 0, len(col))
+		for _, i := range col {
+			if i != j {
+				lst = append(lst, int32(i))
+			}
+		}
+		adj[j] = lst
+	}
+	elems := make([][]int32, 0, n) // element id -> boundary variables
+	velems := make([][]int32, n)   // variable -> incident element ids
+	alive := make([]bool, n)
+	elemAlive := make([]bool, 0, n)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	// Degree buckets: doubly-linked lists threaded through next/prev.
+	deg := make([]int, n)
+	head := make([]int, n+1)
+	next := make([]int, n)
+	prev := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	insert := func(v int) {
+		d := deg[v]
+		next[v] = head[d]
+		prev[v] = -1
+		if head[d] != -1 {
+			prev[head[d]] = v
+		}
+		head[d] = v
+	}
+	remove := func(v int) {
+		d := deg[v]
+		if prev[v] != -1 {
+			next[prev[v]] = next[v]
+		} else {
+			head[d] = next[v]
+		}
+		if next[v] != -1 {
+			prev[next[v]] = prev[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		deg[v] = len(adj[v])
+		insert(v)
+	}
+
+	marker := make([]int, n)
+	for i := range marker {
+		marker[i] = -1
+	}
+	stamp := 0
+	perm := make(sparse.Perm, n)
+	minDeg := 0
+
+	scratch := make([]int32, 0, n)
+
+	for k := 0; k < n; k++ {
+		// Find the lowest non-empty bucket.
+		for minDeg <= n && (minDeg >= len(head) || head[minDeg] == -1) {
+			minDeg++
+		}
+		if minDeg > n {
+			panic("ordering: empty degree structure before completion")
+		}
+		v := head[minDeg]
+		remove(v)
+		alive[v] = false
+		perm[v] = k
+
+		// Le = (adj[v] ∪ ⋃ boundaries of v's elements) \ dead.
+		stamp++
+		le := scratch[:0]
+		marker[v] = stamp
+		for _, u := range adj[v] {
+			if alive[u] && marker[u] != stamp {
+				marker[u] = stamp
+				le = append(le, u)
+			}
+		}
+		for _, e := range velems[v] {
+			if !elemAlive[e] {
+				continue
+			}
+			for _, u := range elems[e] {
+				if alive[u] && marker[u] != stamp {
+					marker[u] = stamp
+					le = append(le, u)
+				}
+			}
+			elemAlive[e] = false // absorbed into the new element
+			elems[e] = nil
+		}
+		if len(le) == 0 {
+			scratch = le
+			continue
+		}
+		eid := int32(len(elems))
+		boundary := append([]int32(nil), le...)
+		elems = append(elems, boundary)
+		elemAlive = append(elemAlive, true)
+
+		// Absorbed element ids of v, for pruning from neighbours.
+		stampAbs := make(map[int32]bool, len(velems[v]))
+		for _, e := range velems[v] {
+			stampAbs[e] = true
+		}
+
+		for _, u := range le {
+			ui := int(u)
+			// Prune adj[u]: drop v, dead vars, and members of Le (now
+			// covered by the element).
+			w := adj[ui][:0]
+			for _, x := range adj[ui] {
+				if x != int32(v) && alive[x] && marker[x] != stamp {
+					w = append(w, x)
+				}
+			}
+			adj[ui] = w
+			// Replace absorbed elements with the new one.
+			we := velems[ui][:0]
+			for _, e := range velems[ui] {
+				if elemAlive[e] && !stampAbs[e] {
+					we = append(we, e)
+				}
+			}
+			velems[ui] = append(we, eid)
+		}
+
+		// Recompute exact external degrees of the boundary variables.
+		for _, u := range le {
+			ui := int(u)
+			stamp++
+			marker[ui] = stamp
+			d := 0
+			for _, x := range adj[ui] {
+				if alive[x] && marker[x] != stamp {
+					marker[x] = stamp
+					d++
+				}
+			}
+			for _, e := range velems[ui] {
+				for _, x := range elems[e] {
+					if alive[x] && marker[x] != stamp {
+						marker[x] = stamp
+						d++
+					}
+				}
+			}
+			remove(ui)
+			deg[ui] = d
+			insert(ui)
+			if d < minDeg {
+				minDeg = d
+			}
+		}
+		scratch = le[:0]
+	}
+	return perm
+}

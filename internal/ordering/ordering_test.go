@@ -1,0 +1,257 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// grid2DPattern builds the symmetric 5-point Laplacian pattern of an
+// nx×ny grid (including the diagonal).
+func grid2DPattern(nx, ny int) *sparse.Pattern {
+	n := nx * ny
+	t := sparse.NewTriplet(n, n)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			v := id(x, y)
+			t.Add(v, v, 1)
+			if x > 0 {
+				t.Add(v, id(x-1, y), 1)
+				t.Add(id(x-1, y), v, 1)
+			}
+			if y > 0 {
+				t.Add(v, id(x, y-1), 1)
+				t.Add(id(x, y-1), v, 1)
+			}
+		}
+	}
+	return sparse.PatternOf(t.ToCSC())
+}
+
+// symbolicCholeskyFill counts the nonzeros of the Cholesky factor of a
+// symmetric pattern under permutation perm, by plain symbolic
+// elimination (reference implementation, O(fill · deg)).
+func symbolicCholeskyFill(g *sparse.Pattern, perm sparse.Perm) int {
+	n := g.NCols
+	inv := perm.Inverse()
+	// adjacency under the new labels
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = map[int]bool{}
+	}
+	for j := 0; j < n; j++ {
+		for _, i := range g.Col(j) {
+			if i != j {
+				a, b := perm[i], perm[j]
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+	}
+	_ = inv
+	fill := n // diagonal
+	for v := 0; v < n; v++ {
+		// neighbours with higher elimination number
+		var higher []int
+		for u := range adj[v] {
+			if u > v {
+				higher = append(higher, u)
+			}
+		}
+		fill += len(higher)
+		for i := 0; i < len(higher); i++ {
+			for k := i + 1; k < len(higher); k++ {
+				a, b := higher[i], higher[k]
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+	}
+	return fill
+}
+
+func TestMinimumDegreeValidPerm(t *testing.T) {
+	g := grid2DPattern(7, 5)
+	p := MinimumDegree(g)
+	if err := sparse.CheckPerm(p, 35); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimumDegreeReducesFillOnGrid(t *testing.T) {
+	g := grid2DPattern(12, 12)
+	n := 144
+	natural := symbolicCholeskyFill(g, sparse.Identity(n))
+	md := symbolicCholeskyFill(g, MinimumDegree(g))
+	if md >= natural {
+		t.Fatalf("minimum degree fill %d not below natural fill %d", md, natural)
+	}
+}
+
+func TestMinimumDegreeStarGraph(t *testing.T) {
+	// Star: center 0 connected to 1..6. MD must eliminate leaves first;
+	// eliminating the center first would create a 6-clique.
+	n := 7
+	tr := sparse.NewTriplet(n, n)
+	for v := 0; v < n; v++ {
+		tr.Add(v, v, 1)
+	}
+	for v := 1; v < n; v++ {
+		tr.Add(0, v, 1)
+		tr.Add(v, 0, 1)
+	}
+	g := sparse.PatternOf(tr.ToCSC())
+	p := MinimumDegree(g)
+	// Once only the center and one leaf remain they tie at degree 1, so
+	// the center may be eliminated at position n-2 or n-1.
+	if p[0] < n-2 {
+		t.Fatalf("center eliminated at position %d, want ≥ %d", p[0], n-2)
+	}
+	if fill := symbolicCholeskyFill(g, p); fill != 2*n-1 {
+		t.Fatalf("star fill = %d, want %d (no fill-in)", fill, 2*n-1)
+	}
+}
+
+func TestMinimumDegreePathNoFill(t *testing.T) {
+	// A path graph is chordal; MD should find a no-fill ordering.
+	n := 20
+	tr := sparse.NewTriplet(n, n)
+	for v := 0; v < n; v++ {
+		tr.Add(v, v, 1)
+		if v > 0 {
+			tr.Add(v, v-1, 1)
+			tr.Add(v-1, v, 1)
+		}
+	}
+	g := sparse.PatternOf(tr.ToCSC())
+	p := MinimumDegree(g)
+	if fill := symbolicCholeskyFill(g, p); fill != 2*n-1 {
+		t.Fatalf("path fill = %d, want %d", fill, 2*n-1)
+	}
+}
+
+func TestMinimumDegreeEmptyAndSingleton(t *testing.T) {
+	if p := MinimumDegree(&sparse.Pattern{ColPtr: []int{0}}); len(p) != 0 {
+		t.Fatal("empty pattern should give empty perm")
+	}
+	tr := sparse.NewTriplet(1, 1)
+	tr.Add(0, 0, 1)
+	p := MinimumDegree(sparse.PatternOf(tr.ToCSC()))
+	if len(p) != 1 || p[0] != 0 {
+		t.Fatalf("singleton perm = %v", p)
+	}
+}
+
+func TestMinimumDegreeDisconnected(t *testing.T) {
+	// Two disjoint triangles.
+	n := 6
+	tr := sparse.NewTriplet(n, n)
+	addTri := func(a, b, c int) {
+		for _, v := range []int{a, b, c} {
+			tr.Add(v, v, 1)
+		}
+		for _, e := range [][2]int{{a, b}, {b, c}, {a, c}} {
+			tr.Add(e[0], e[1], 1)
+			tr.Add(e[1], e[0], 1)
+		}
+	}
+	addTri(0, 1, 2)
+	addTri(3, 4, 5)
+	p := MinimumDegree(sparse.PatternOf(tr.ToCSC()))
+	if err := sparse.CheckPerm(p, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMValidAndReducesBandwidth(t *testing.T) {
+	g := grid2DPattern(10, 10)
+	n := 100
+	// Scramble first so the natural band is destroyed.
+	rng := rand.New(rand.NewSource(41))
+	scramble := sparse.RandomPerm(n, rng)
+	scrambled := sparse.PatternOf(g.ToCSC(1).PermuteSym(scramble))
+
+	bandwidth := func(g *sparse.Pattern, p sparse.Perm) int {
+		bw := 0
+		for j := 0; j < g.NCols; j++ {
+			for _, i := range g.Col(j) {
+				d := p[i] - p[j]
+				if d < 0 {
+					d = -d
+				}
+				if d > bw {
+					bw = d
+				}
+			}
+		}
+		return bw
+	}
+	p := ReverseCuthillMcKee(scrambled)
+	if err := sparse.CheckPerm(p, n); err != nil {
+		t.Fatal(err)
+	}
+	before := bandwidth(scrambled, sparse.Identity(n))
+	after := bandwidth(scrambled, p)
+	if after >= before {
+		t.Fatalf("RCM bandwidth %d not below scrambled bandwidth %d", after, before)
+	}
+}
+
+func TestColumnOrderingMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 15
+	tr := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 1)
+		for k := 0; k < 3; k++ {
+			tr.Add(rng.Intn(n), rng.Intn(n), 1)
+		}
+	}
+	a := tr.ToCSC()
+	for _, m := range []Method{Natural, MinDegreeATA, RCMATA} {
+		p := ColumnOrdering(a, m)
+		if err := sparse.CheckPerm(p, n); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+	if ColumnOrdering(a, Natural)[3] != 3 {
+		t.Fatal("natural ordering should be identity")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Natural.String() == "" || MinDegreeATA.String() == "" || RCMATA.String() == "" {
+		t.Fatal("empty method name")
+	}
+	if Method(99).String() != "unknown" {
+		t.Fatal("unknown method name")
+	}
+}
+
+// Property: MD always yields a valid permutation and never produces more
+// fill than the natural order by more than the trivial bound (sanity: it
+// is a heuristic, but on random sparse symmetric patterns it should be
+// valid and complete).
+func TestQuickMinimumDegreeValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		tr := sparse.NewTriplet(n, n)
+		for v := 0; v < n; v++ {
+			tr.Add(v, v, 1)
+		}
+		for e := 0; e < 3*n; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			tr.Add(i, j, 1)
+			tr.Add(j, i, 1)
+		}
+		p := MinimumDegree(sparse.PatternOf(tr.ToCSC()))
+		return sparse.CheckPerm(p, n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

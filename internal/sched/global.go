@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"repro/internal/taskgraph"
+)
+
+// The paper's runtime (RAPID on the Origin 2000, a cache-coherent shared
+// memory machine) schedules *tasks*, not block columns: updates of the
+// same destination column coming from independent subtrees write
+// disjoint row sets (the branch property of the static structure,
+// Section 4 / Gilbert), so they may run concurrently on different
+// processors. This file provides the task-level counterparts of the
+// owner-mapped executor and simulator. They are what exposes the
+// parallelism the eforest-guided dependence graph adds over S*.
+
+// ExecuteGlobal runs every task of g exactly once with dependences
+// respected, using procs workers that pull the highest-priority ready
+// task from one global queue (task-level scheduling). Concurrent tasks
+// may target the same block column; that is safe for both dependence-
+// graph variants because unordered tasks touch disjoint rows.
+func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id int)) error {
+	if procs < 1 {
+		return fmt.Errorf("sched: procs = %d", procs)
+	}
+	if prio == nil {
+		var err error
+		prio, err = g.BottomLevels(nil)
+		if err != nil {
+			return err
+		}
+	}
+	indeg := g.InDegrees()
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	queue := priorityQueue{prio: prio}
+	remaining := g.NumTasks()
+	var firstPanic any
+
+	mu.Lock()
+	for id, d := range indeg {
+		if d == 0 {
+			heap.Push(&queue, id)
+		}
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for queue.Len() == 0 && remaining > 0 && firstPanic == nil {
+					cond.Wait()
+				}
+				if remaining == 0 || firstPanic != nil {
+					mu.Unlock()
+					return
+				}
+				id := heap.Pop(&queue).(int)
+				mu.Unlock()
+
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstPanic == nil {
+								firstPanic = r
+							}
+							cond.Broadcast()
+							mu.Unlock()
+						}
+					}()
+					run(id)
+				}()
+
+				mu.Lock()
+				if firstPanic != nil {
+					mu.Unlock()
+					return
+				}
+				remaining--
+				for _, s := range g.Succ[id] {
+					indeg[s]--
+					if indeg[s] == 0 {
+						heap.Push(&queue, int(s))
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	return nil
+}
+
+// SimulateGlobal performs deterministic task-level list scheduling of
+// the graph on the machine: ready tasks are taken in descending
+// bottom-level priority and placed on the processor that can start them
+// earliest, accounting for a message cost on every dependence edge whose
+// endpoints run on different processors (panels live in the memory of
+// the processor that produced them on a NUMA machine).
+func SimulateGlobal(g *taskgraph.Graph, cm *taskgraph.CostModel, m Machine, commWords func(from, to int) float64) (*SimResult, error) {
+	if m.Procs < 1 {
+		return nil, fmt.Errorf("sched: machine with %d processors", m.Procs)
+	}
+	if m.FlopRate <= 0 {
+		return nil, fmt.Errorf("sched: non-positive flop rate")
+	}
+	nt := g.NumTasks()
+	taskTime := m.taskSeconds(cm.TaskFlops)
+	prio, err := g.BottomLevels(taskTime)
+	if err != nil {
+		return nil, err
+	}
+	indeg := g.InDegrees()
+
+	// Incoming dependence records per task: (finish, proc, commSeconds).
+	type arrival struct {
+		finish float64
+		proc   int
+		comm   float64
+	}
+	arrivals := make([][]arrival, nt)
+
+	res := &SimResult{
+		Start:    make([]float64, nt),
+		Finish:   make([]float64, nt),
+		ProcBusy: make([]float64, m.Procs),
+	}
+	procFree := make([]float64, m.Procs)
+	procOf := make([]int, nt)
+
+	ready := priorityQueue{prio: prio}
+	for id, d := range indeg {
+		if d == 0 {
+			heapPush(&ready, id)
+		}
+	}
+
+	for scheduled := 0; scheduled < nt; scheduled++ {
+		if ready.Len() == 0 {
+			return nil, fmt.Errorf("sched: no ready task (cycle?)")
+		}
+		id := heapPopID(&ready)
+		// Choose the processor with the earliest feasible start.
+		bestP, bestStart := 0, 0.0
+		for p := 0; p < m.Procs; p++ {
+			start := procFree[p]
+			for _, a := range arrivals[id] {
+				t := a.finish
+				if a.proc != p {
+					t += a.comm
+				}
+				if t > start {
+					start = t
+				}
+			}
+			if p == 0 || start < bestStart {
+				bestP, bestStart = p, start
+			}
+		}
+		finish := bestStart + taskTime[id]
+		res.Start[id] = bestStart
+		res.Finish[id] = finish
+		res.ProcBusy[bestP] += taskTime[id]
+		procFree[bestP] = finish
+		procOf[id] = bestP
+		if finish > res.Makespan {
+			res.Makespan = finish
+		}
+		for _, s := range g.Succ[id] {
+			comm := m.Latency
+			if commWords != nil {
+				comm += m.InvBandwidth * commWords(id, int(s))
+			}
+			arrivals[s] = append(arrivals[s], arrival{finish: finish, proc: bestP, comm: comm})
+			indeg[s]--
+			if indeg[s] == 0 {
+				heapPush(&ready, int(s))
+			}
+		}
+	}
+	// Count communication events: edges whose endpoints ran on
+	// different processors.
+	for id := range g.Succ {
+		for _, s := range g.Succ[id] {
+			if procOf[id] != procOf[s] {
+				res.CommEvents++
+			}
+		}
+	}
+	return res, nil
+}

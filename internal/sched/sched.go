@@ -1,0 +1,198 @@
+// Package sched is the run-time layer standing in for the RAPID system
+// the paper used: tasks of a dependence graph are statically mapped to
+// processors with a 1-D block-column scheme (an entire block column is
+// owned by one processor — Section 4), and executed either
+//
+//   - for real, by a pool of goroutine workers with per-worker priority
+//     queues driven by dependence completion, or
+//   - deterministically, by a discrete-event machine simulator with a
+//     flop-rate and message-latency model of the Origin 2000, used to
+//     regenerate the paper's figures reproducibly.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"repro/internal/taskgraph"
+)
+
+// Assignment maps each block column to the processor that owns it.
+type Assignment []int
+
+// BlockCyclic distributes n block columns over procs processors
+// round-robin — the standard 1-D cyclic mapping.
+func BlockCyclic(n, procs int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = i % procs
+	}
+	return a
+}
+
+// BalancedColumns assigns block columns to processors by greedy
+// longest-processing-time balancing of the given per-column costs,
+// preserving determinism (ties broken by processor index).
+func BalancedColumns(colCost []float64, procs int) Assignment {
+	n := len(colCost)
+	a := make(Assignment, n)
+	load := make([]float64, procs)
+	// Process columns in descending cost; stable order for equal costs.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for k := i; k > 0; k-- {
+			a, b := idx[k-1], idx[k]
+			if colCost[a] < colCost[b] || (colCost[a] == colCost[b] && a > b) {
+				idx[k-1], idx[k] = idx[k], idx[k-1]
+			} else {
+				break
+			}
+		}
+	}
+	for _, col := range idx {
+		best := 0
+		for p := 1; p < procs; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		a[col] = best
+		load[best] += colCost[col]
+	}
+	return a
+}
+
+// TaskOwners resolves the processor of every task under the 1-D mapping:
+// Factor(k) runs on owner(k) and Update(k, j) runs on owner(j), so all
+// writers of a block column are serialized on its owner.
+func TaskOwners(g *taskgraph.Graph, owner Assignment) []int {
+	out := make([]int, g.NumTasks())
+	for id, t := range g.Tasks {
+		if t.Kind == taskgraph.Factor {
+			out[id] = owner[t.K]
+		} else {
+			out[id] = owner[t.J]
+		}
+	}
+	return out
+}
+
+// priorityQueue is a max-heap of task ids by priority, ties by id.
+type priorityQueue struct {
+	ids  []int
+	prio []float64
+}
+
+func (q *priorityQueue) Len() int { return len(q.ids) }
+func (q *priorityQueue) Less(i, j int) bool {
+	a, b := q.ids[i], q.ids[j]
+	if q.prio[a] != q.prio[b] {
+		return q.prio[a] > q.prio[b]
+	}
+	return a < b
+}
+func (q *priorityQueue) Swap(i, j int) { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
+func (q *priorityQueue) Push(x any)    { q.ids = append(q.ids, x.(int)) }
+func (q *priorityQueue) Pop() any {
+	old := q.ids
+	n := len(old)
+	x := old[n-1]
+	q.ids = old[:n-1]
+	return x
+}
+
+// Execute runs every task of g exactly once with the dependence order
+// respected, using one goroutine per processor and the 1-D ownership
+// mapping. run is called with the task id; it must be safe for
+// concurrent invocation on different block columns. prio orders each
+// worker's ready queue (nil means bottom levels with unit weights).
+func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, run func(id int)) error {
+	if procs < 1 {
+		return fmt.Errorf("sched: procs = %d", procs)
+	}
+	if prio == nil {
+		var err error
+		prio, err = g.BottomLevels(nil)
+		if err != nil {
+			return err
+		}
+	}
+	taskOwner := TaskOwners(g, owner)
+	indeg := g.InDegrees()
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	queues := make([]priorityQueue, procs)
+	for p := range queues {
+		queues[p].prio = prio
+	}
+	remaining := g.NumTasks()
+	var firstPanic any
+
+	mu.Lock()
+	for id, d := range indeg {
+		if d == 0 {
+			q := &queues[taskOwner[id]]
+			heap.Push(q, id)
+		}
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for queues[p].Len() == 0 && remaining > 0 && firstPanic == nil {
+					cond.Wait()
+				}
+				if remaining == 0 || firstPanic != nil {
+					mu.Unlock()
+					return
+				}
+				id := heap.Pop(&queues[p]).(int)
+				mu.Unlock()
+
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstPanic == nil {
+								firstPanic = r
+							}
+							cond.Broadcast()
+							mu.Unlock()
+						}
+					}()
+					run(id)
+				}()
+
+				mu.Lock()
+				if firstPanic != nil {
+					mu.Unlock()
+					return
+				}
+				remaining--
+				for _, s := range g.Succ[id] {
+					indeg[s]--
+					if indeg[s] == 0 {
+						heap.Push(&queues[taskOwner[s]], int(s))
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// RAPID, the run-time system the paper used, is an inspector/executor:
+// it computes a static schedule (a fixed task order per processor) from
+// estimated task costs before the numeric phase starts, then each
+// processor executes its sequence in order, blocking whenever the next
+// task's dependences are not yet satisfied. On real hardware the actual
+// task times deviate from the estimates (cache misses, NUMA placement,
+// contention), so the fixed order meets delays it did not plan for —
+// and every dependence edge is a channel through which a delay cascades.
+// That is precisely where the paper's leaner eforest-guided graph beats
+// S*: with fewer (and no false) dependences, fewer stalls propagate.
+//
+// SimulateStatic models this: phase 1 builds the static schedule with
+// the estimated costs (task-level HLF, identical policy for both graph
+// variants); phase 2 executes the fixed per-processor sequences with
+// deterministically perturbed task times. Both variants see the *same*
+// perturbed time for the same task, so the comparison isolates the
+// dependence structure.
+
+// Perturb controls the execution-time deviation model of
+// SimulateStatic.
+type Perturb struct {
+	// Amplitude a scales task time by a factor in [1−a, 1+a]. The
+	// default 0 means execution matches the estimates exactly.
+	Amplitude float64
+	// Seed selects the deterministic pseudo-random stream.
+	Seed uint64
+}
+
+// factor returns the deterministic perturbation factor for task id.
+func (p Perturb) factor(id int) float64 {
+	if p.Amplitude == 0 {
+		return 1
+	}
+	// SplitMix64 on (seed, id): cheap, stateless, deterministic.
+	z := p.Seed + 0x9e3779b97f4a7c15*(uint64(id)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / float64(1<<53) // [0,1)
+	return 1 + p.Amplitude*(2*u-1)
+}
+
+// SimulateStatic builds a static task-level schedule from the cost
+// model, then simulates its in-order execution under the perturbed task
+// times. Returns the executed schedule.
+func SimulateStatic(g *taskgraph.Graph, cm *taskgraph.CostModel, m Machine, commWords func(from, to int) float64, perturb Perturb) (*SimResult, error) {
+	if m.Procs < 1 {
+		return nil, fmt.Errorf("sched: machine with %d processors", m.Procs)
+	}
+	if m.FlopRate <= 0 {
+		return nil, fmt.Errorf("sched: non-positive flop rate")
+	}
+	nt := g.NumTasks()
+	estTime := m.taskSeconds(cm.TaskFlops)
+
+	// Phase 1 — inspector: static schedule with estimated costs. The
+	// placement policy is the same deterministic HLF as SimulateGlobal,
+	// so both graph variants are scheduled identically well.
+	procSeq, err := planAssign(g, cm, m, commWords)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — executor: run the fixed sequences with perturbed times.
+	actual := make([]float64, nt)
+	for id := range actual {
+		actual[id] = estTime[id] * perturb.factor(id)
+	}
+	res := &SimResult{
+		Start:    make([]float64, nt),
+		Finish:   make([]float64, nt),
+		ProcBusy: make([]float64, m.Procs),
+	}
+	procOf := make([]int, nt)
+	for p, seq := range procSeq {
+		for _, id := range seq {
+			procOf[id] = p
+		}
+	}
+	// Event-driven in-order execution: repeatedly advance the processor
+	// whose next task can start earliest.
+	pos := make([]int, m.Procs)
+	procFree := make([]float64, m.Procs)
+	type arrival struct {
+		finish float64
+		proc   int
+		comm   float64
+	}
+	arrivals := make([][]arrival, nt)
+	pending := make([]int, nt)
+	for id := range pending {
+		pending[id] = 0
+	}
+	in := g.InDegrees()
+	copy(pending, in)
+
+	done := 0
+	for done < nt {
+		bestP := -1
+		bestStart := 0.0
+		for p := 0; p < m.Procs; p++ {
+			if pos[p] >= len(procSeq[p]) {
+				continue
+			}
+			id := procSeq[p][pos[p]]
+			if pending[id] > 0 {
+				continue // a predecessor has not even been executed yet
+			}
+			start := procFree[p]
+			for _, a := range arrivals[id] {
+				t := a.finish
+				if a.proc != p {
+					t += a.comm
+				}
+				if t > start {
+					start = t
+				}
+			}
+			if bestP == -1 || start < bestStart {
+				bestP, bestStart = p, start
+			}
+		}
+		if bestP == -1 {
+			return nil, fmt.Errorf("sched: static schedule deadlocked with %d of %d done", done, nt)
+		}
+		id := procSeq[bestP][pos[bestP]]
+		pos[bestP]++
+		finish := bestStart + actual[id]
+		res.Start[id] = bestStart
+		res.Finish[id] = finish
+		res.ProcBusy[bestP] += actual[id]
+		procFree[bestP] = finish
+		if finish > res.Makespan {
+			res.Makespan = finish
+		}
+		done++
+		for _, s := range g.Succ[id] {
+			comm := m.Latency
+			if commWords != nil {
+				comm += m.InvBandwidth * commWords(id, int(s))
+			}
+			arrivals[s] = append(arrivals[s], arrival{finish: finish, proc: bestP, comm: comm})
+			pending[s]--
+			if procOf[id] != procOf[s] {
+				res.CommEvents++
+			}
+		}
+	}
+	return res, nil
+}
+
+// planAssign runs the same deterministic HLF placement as
+// SimulateGlobal and returns the per-processor task sequences.
+func planAssign(g *taskgraph.Graph, cm *taskgraph.CostModel, m Machine, commWords func(from, to int) float64) ([][]int, error) {
+	nt := g.NumTasks()
+	taskTime := m.taskSeconds(cm.TaskFlops)
+	prio, err := g.BottomLevels(taskTime)
+	if err != nil {
+		return nil, err
+	}
+	indeg := g.InDegrees()
+	type arrival struct {
+		finish float64
+		proc   int
+		comm   float64
+	}
+	arrivals := make([][]arrival, nt)
+	procFree := make([]float64, m.Procs)
+	seq := make([][]int, m.Procs)
+	ready := priorityQueue{prio: prio}
+	for id, d := range indeg {
+		if d == 0 {
+			heapPush(&ready, id)
+		}
+	}
+	for scheduled := 0; scheduled < nt; scheduled++ {
+		if ready.Len() == 0 {
+			return nil, fmt.Errorf("sched: no ready task (cycle?)")
+		}
+		id := heapPopID(&ready)
+		bestP, bestStart := 0, 0.0
+		for p := 0; p < m.Procs; p++ {
+			start := procFree[p]
+			for _, a := range arrivals[id] {
+				t := a.finish
+				if a.proc != p {
+					t += a.comm
+				}
+				if t > start {
+					start = t
+				}
+			}
+			if p == 0 || start < bestStart {
+				bestP, bestStart = p, start
+			}
+		}
+		finish := bestStart + taskTime[id]
+		procFree[bestP] = finish
+		seq[bestP] = append(seq[bestP], id)
+		for _, s := range g.Succ[id] {
+			comm := m.Latency
+			if commWords != nil {
+				comm += m.InvBandwidth * commWords(id, int(s))
+			}
+			arrivals[s] = append(arrivals[s], arrival{finish: finish, proc: bestP, comm: comm})
+			indeg[s]--
+			if indeg[s] == 0 {
+				heapPush(&ready, int(s))
+			}
+		}
+	}
+	return seq, nil
+}

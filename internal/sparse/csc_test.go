@@ -1,0 +1,280 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// small3x3 builds the matrix
+//
+//	[1 0 2]
+//	[0 3 0]
+//	[4 5 6]
+func small3x3() *CSC {
+	t := NewTriplet(3, 3)
+	t.Add(0, 0, 1)
+	t.Add(0, 2, 2)
+	t.Add(1, 1, 3)
+	t.Add(2, 0, 4)
+	t.Add(2, 1, 5)
+	t.Add(2, 2, 6)
+	return t.ToCSC()
+}
+
+// randomCSC returns a random nr×nc matrix with the given fill density;
+// the diagonal (of the leading square part) is always present.
+func randomCSC(nr, nc int, density float64, rng *rand.Rand) *CSC {
+	t := NewTriplet(nr, nc)
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			if i == j || rng.Float64() < density {
+				t.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+func TestTripletToCSC(t *testing.T) {
+	a := small3x3()
+	if a.NNZ() != 6 {
+		t.Fatalf("NNZ = %d, want 6", a.NNZ())
+	}
+	checks := []struct {
+		i, j int
+		v    float64
+	}{
+		{0, 0, 1}, {0, 2, 2}, {1, 1, 3}, {2, 0, 4}, {2, 1, 5}, {2, 2, 6},
+		{0, 1, 0}, {1, 0, 0}, {1, 2, 0},
+	}
+	for _, c := range checks {
+		if got := a.At(c.i, c.j); got != c.v {
+			t.Errorf("At(%d,%d) = %g, want %g", c.i, c.j, got, c.v)
+		}
+	}
+}
+
+func TestTripletDuplicatesSummed(t *testing.T) {
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 0, 2)
+	tr.Add(1, 1, 5)
+	a := tr.ToCSC()
+	if a.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", a.NNZ())
+	}
+	if a.At(0, 0) != 3 {
+		t.Fatalf("At(0,0) = %g, want 3", a.At(0, 0))
+	}
+}
+
+func TestTripletAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	NewTriplet(2, 2).Add(2, 0, 1)
+}
+
+func TestCSCSortedIndices(t *testing.T) {
+	tr := NewTriplet(3, 1)
+	tr.Add(2, 0, 1)
+	tr.Add(0, 0, 2)
+	tr.Add(1, 0, 3)
+	a := tr.ToCSC()
+	rows, _ := a.Col(0)
+	for k := 1; k < len(rows); k++ {
+		if rows[k-1] >= rows[k] {
+			t.Fatalf("rows not sorted: %v", rows)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := small3x3()
+	b := a.Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != b.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCSC(15, 9, 0.2, rng)
+	b := a.Transpose().Transpose()
+	if !a.Equal(b) {
+		t.Fatal("Aᵀᵀ ≠ A")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := small3x3()
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	a.MulVec(x, y)
+	want := []float64{7, 6, 32}
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-14 {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	a := small3x3()
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	a.MulVecT(x, y)
+	// Aᵀx = [1+12, 6+15, 2+18]
+	want := []float64{13, 21, 20}
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-14 {
+			t.Fatalf("MulVecT = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMulVecMatchesTransposeMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomCSC(12, 17, 0.25, rng)
+	x := make([]float64, 17)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 12)
+	a.MulVec(x, y1)
+	y2 := make([]float64, 12)
+	a.Transpose().MulVecT(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("A·x ≠ (Aᵀ)ᵀ·x at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestPermuteRows(t *testing.T) {
+	a := small3x3()
+	p := Perm{2, 0, 1} // row 0→2, 1→0, 2→1
+	b := a.PermuteRows(p)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if b.At(p[i], j) != a.At(i, j) {
+				t.Fatalf("PermuteRows mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPermuteCols(t *testing.T) {
+	a := small3x3()
+	q := Perm{1, 2, 0}
+	b := a.PermuteCols(q)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if b.At(i, q[j]) != a.At(i, j) {
+				t.Fatalf("PermuteCols mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPermuteSymRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCSC(10, 10, 0.3, rng)
+	p := RandomPerm(10, rng)
+	b := a.PermuteSym(p).PermuteSym(p.Inverse())
+	if !a.Equal(b) {
+		t.Fatal("PermuteSym round trip failed")
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomCSC(8, 11, 0.3, rng)
+	b := FromDense(a.ToDense(), 8, 11, 0)
+	if !a.Equal(b) {
+		t.Fatal("dense round trip failed")
+	}
+}
+
+func TestHasZeroFreeDiagonal(t *testing.T) {
+	a := small3x3()
+	if !a.HasZeroFreeDiagonal() {
+		t.Fatal("small3x3 has a zero-free diagonal")
+	}
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 0, 1)
+	if tr.ToCSC().HasZeroFreeDiagonal() {
+		t.Fatal("antidiagonal matrix should not report zero-free diagonal")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := small3x3()
+	if got := a.Norm1(); got != 8 { // col 2: 2+6
+		t.Fatalf("Norm1 = %g, want 8", got)
+	}
+	if got := a.NormInf(); got != 15 { // row 2: 4+5+6
+		t.Fatalf("NormInf = %g, want 15", got)
+	}
+	if got := a.MaxAbs(); got != 6 {
+		t.Fatalf("MaxAbs = %g, want 6", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := small3x3()
+	b := a.Clone()
+	b.Val[0] = 99
+	if a.Val[0] == 99 {
+		t.Fatal("Clone aliases Val")
+	}
+	if !a.SamePattern(b) {
+		t.Fatal("Clone pattern differs")
+	}
+}
+
+// Property: permuting rows then permuting back yields the original.
+func TestQuickPermuteRowsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		a := randomCSC(n, n, 0.3, rng)
+		p := RandomPerm(n, rng)
+		return a.PermuteRows(p).PermuteRows(p.Inverse()).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (PAQᵀ)(i',j') = A(i,j) with i' = p[i], j' = q[j].
+func TestQuickPermuteEntrywise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := randomCSC(n, n, 0.4, rng)
+		p := RandomPerm(n, rng)
+		q := RandomPerm(n, rng)
+		b := a.Permute(p, q)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if b.At(p[i], q[j]) != a.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

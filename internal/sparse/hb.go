@@ -1,0 +1,204 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadHarwellBoeing parses a Harwell-Boeing (HB) file — the format the
+// paper's benchmark suite was distributed in ("Matrices were obtained
+// from the Harwell-Boeing Collection"). Supported types: real (or
+// pattern) assembled matrices, i.e. RUA, RSA, RZA, PUA, PSA headers.
+// Symmetric (S) and skew (Z) storage are expanded; pattern values
+// become 1. Right-hand sides, if present, are ignored.
+func ReadHarwellBoeing(r io.Reader) (*CSC, error) {
+	br := bufio.NewReader(r)
+	readLine := func() (string, error) {
+		s, err := br.ReadString('\n')
+		if err != nil && s == "" {
+			return "", err
+		}
+		return strings.TrimRight(s, "\r\n"), nil
+	}
+
+	// Line 1: title + key (ignored).
+	if _, err := readLine(); err != nil {
+		return nil, fmt.Errorf("sparse: HB header line 1: %w", err)
+	}
+	// Line 2: card counts.
+	line2, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("sparse: HB header line 2: %w", err)
+	}
+	counts := strings.Fields(line2)
+	if len(counts) < 4 {
+		return nil, fmt.Errorf("sparse: HB line 2 has %d fields, want ≥4", len(counts))
+	}
+	valcrd := 0
+	if len(counts) >= 4 {
+		valcrd, _ = strconv.Atoi(counts[3])
+	}
+	// Line 3: type and dimensions.
+	line3, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("sparse: HB header line 3: %w", err)
+	}
+	if len(line3) < 3 {
+		return nil, fmt.Errorf("sparse: HB type field missing")
+	}
+	mxtype := strings.ToUpper(strings.TrimSpace(line3[:3]))
+	if len(mxtype) != 3 {
+		return nil, fmt.Errorf("sparse: bad HB type %q", mxtype)
+	}
+	vtype, symm, assembled := mxtype[0], mxtype[1], mxtype[2]
+	if vtype != 'R' && vtype != 'P' {
+		return nil, fmt.Errorf("sparse: unsupported HB value type %q (want R or P)", string(vtype))
+	}
+	if assembled != 'A' {
+		return nil, fmt.Errorf("sparse: only assembled HB matrices are supported, got %q", string(assembled))
+	}
+	if symm != 'U' && symm != 'S' && symm != 'Z' && symm != 'R' {
+		return nil, fmt.Errorf("sparse: unsupported HB symmetry %q", string(symm))
+	}
+	dims := strings.Fields(line3[3:])
+	if len(dims) < 3 {
+		return nil, fmt.Errorf("sparse: HB line 3 has %d dimension fields, want ≥3", len(dims))
+	}
+	nrow, err1 := strconv.Atoi(dims[0])
+	ncol, err2 := strconv.Atoi(dims[1])
+	nnz, err3 := strconv.Atoi(dims[2])
+	if err1 != nil || err2 != nil || err3 != nil || nrow < 0 || ncol < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: bad HB dimensions %q", line3)
+	}
+	// Line 4: fortran formats (free-form parsing makes them irrelevant —
+	// we split on whitespace, which every HB writer produces).
+	if _, err := readLine(); err != nil {
+		return nil, fmt.Errorf("sparse: HB header line 4: %w", err)
+	}
+	// Optional line 5 when right-hand sides are present.
+	if len(counts) >= 5 {
+		if rhscrd, _ := strconv.Atoi(counts[4]); rhscrd > 0 {
+			if _, err := readLine(); err != nil {
+				return nil, fmt.Errorf("sparse: HB header line 5: %w", err)
+			}
+		}
+	}
+
+	readInts := func(n int) ([]int, error) {
+		out := make([]int, 0, n)
+		for len(out) < n {
+			line, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("sparse: HB data ended after %d of %d integers", len(out), n)
+			}
+			for _, f := range strings.Fields(line) {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("sparse: bad HB integer %q", f)
+				}
+				out = append(out, v)
+			}
+		}
+		return out[:n], nil
+	}
+	colPtr, err := readInts(ncol + 1)
+	if err != nil {
+		return nil, err
+	}
+	rowInd, err := readInts(nnz)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, nnz)
+	if vtype == 'R' && valcrd > 0 {
+		got := 0
+		for got < nnz {
+			line, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("sparse: HB values ended after %d of %d", got, nnz)
+			}
+			for _, f := range strings.Fields(line) {
+				// Fortran D exponents.
+				f = strings.ReplaceAll(strings.ReplaceAll(f, "D", "E"), "d", "e")
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sparse: bad HB value %q", f)
+				}
+				if got < nnz {
+					vals[got] = v
+					got++
+				}
+			}
+		}
+	} else {
+		for i := range vals {
+			vals[i] = 1
+		}
+	}
+
+	// Assemble through a triplet so symmetric expansion and sorting are
+	// uniform with the MatrixMarket path.
+	t := NewTriplet(nrow, ncol)
+	for j := 0; j < ncol; j++ {
+		lo, hi := colPtr[j]-1, colPtr[j+1]-1
+		if lo < 0 || hi < lo || hi > nnz {
+			return nil, fmt.Errorf("sparse: bad HB column pointer pair (%d,%d)", colPtr[j], colPtr[j+1])
+		}
+		for p := lo; p < hi; p++ {
+			i := rowInd[p] - 1
+			if i < 0 || i >= nrow {
+				return nil, fmt.Errorf("sparse: HB row index %d out of range", rowInd[p])
+			}
+			v := vals[p]
+			t.Add(i, j, v)
+			if i != j {
+				switch symm {
+				case 'S':
+					t.Add(j, i, v)
+				case 'Z':
+					t.Add(j, i, -v)
+				}
+			}
+		}
+	}
+	return t.ToCSC(), nil
+}
+
+// WriteHarwellBoeing writes the matrix as an assembled real unsymmetric
+// (RUA) Harwell-Boeing file with free-form numeric fields.
+func WriteHarwellBoeing(w io.Writer, a *CSC, title string) error {
+	bw := bufio.NewWriter(w)
+	if len(title) > 72 {
+		title = title[:72]
+	}
+	nnz := a.NNZ()
+	perLine := 8
+	lines := func(n int) int { return (n + perLine - 1) / perLine }
+	ptrcrd := lines(a.NCols + 1)
+	indcrd := lines(nnz)
+	valcrd := lines(nnz)
+	fmt.Fprintf(bw, "%-72s%-8s\n", title, "SPARSELU")
+	fmt.Fprintf(bw, "%14d%14d%14d%14d%14d\n", ptrcrd+indcrd+valcrd, ptrcrd, indcrd, valcrd, 0)
+	fmt.Fprintf(bw, "%-14s%14d%14d%14d%14d\n", "RUA", a.NRows, a.NCols, nnz, 0)
+	fmt.Fprintf(bw, "%-16s%-16s%-20s%-20s\n", "(8I10)", "(8I10)", "(4E25.16)", "")
+	emitInts := func(xs []int, offset int) {
+		for i, v := range xs {
+			fmt.Fprintf(bw, "%10d", v+offset)
+			if (i+1)%perLine == 0 || i == len(xs)-1 {
+				fmt.Fprintln(bw)
+			}
+		}
+	}
+	emitInts(a.ColPtr, 1)
+	emitInts(a.RowInd, 1)
+	for i, v := range a.Val {
+		fmt.Fprintf(bw, "%25.16E", v)
+		if (i+1)%4 == 0 || i == len(a.Val)-1 {
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}

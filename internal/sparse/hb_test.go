@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHarwellBoeingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	a := randomCSC(12, 9, 0.3, rng)
+	var buf bytes.Buffer
+	if err := WriteHarwellBoeing(&buf, a, "round trip test"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadHarwellBoeing(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NRows != a.NRows || b.NCols != a.NCols || b.NNZ() != a.NNZ() {
+		t.Fatalf("shape changed: %d×%d nnz %d", b.NRows, b.NCols, b.NNZ())
+	}
+	for j := 0; j < a.NCols; j++ {
+		rows, vals := a.Col(j)
+		for k, i := range rows {
+			got := b.At(i, j)
+			if d := got - vals[k]; d > 1e-14 || d < -1e-14 {
+				t.Fatalf("value (%d,%d) = %g, want %g", i, j, got, vals[k])
+			}
+		}
+	}
+}
+
+func TestHarwellBoeingSymmetric(t *testing.T) {
+	src := `Symmetric test                                                          KEY
+             3             1             1             1
+RSA                          3             3             4             0
+(8I10)          (8I10)          (4E25.16)
+         1         3         4         5
+         1         3         2         3
+  2.0D0  -1.0  4.0   1.0E0
+`
+	a, err := ReadHarwellBoeing(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored: (0,0), (2,0), (1,1), (2,2); expansion adds (0,2).
+	if a.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5 after expansion", a.NNZ())
+	}
+	if a.At(0, 0) != 2 || a.At(2, 0) != -1 || a.At(0, 2) != -1 {
+		t.Fatal("symmetric expansion wrong")
+	}
+	if a.At(1, 1) != 4 || a.At(2, 2) != 1 {
+		t.Fatal("diagonal wrong")
+	}
+}
+
+func TestHarwellBoeingPattern(t *testing.T) {
+	src := `Pattern test                                                            KEY
+             2             1             1             0
+PUA                          2             2             2             0
+(8I10)          (8I10)
+         1         2         3
+         1         2
+`
+	a, err := ReadHarwellBoeing(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 1) != 1 {
+		t.Fatal("pattern values should be 1")
+	}
+}
+
+func TestHarwellBoeingSkew(t *testing.T) {
+	src := `Skew test                                                               KEY
+             2             1             1             1
+RZA                          2             2             1             0
+(8I10)          (8I10)          (4E25.16)
+         1         2         2
+         2
+  3.0
+`
+	a, err := ReadHarwellBoeing(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 0) != 3 || a.At(0, 1) != -3 {
+		t.Fatalf("skew expansion wrong: %g %g", a.At(1, 0), a.At(0, 1))
+	}
+}
+
+func TestHarwellBoeingErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"title\n", // missing everything after line 1
+		"title\n 1 1 1 1\nCUA 2 2 1 0\n(8I10) (8I10) (4E25.16)\n1 2\n1\n1.0\n", // complex
+		"title\n 1 1 1 1\nRUE 2 2 1 0\n(8I10) (8I10) (4E25.16)\n1 2\n1\n1.0\n", // elemental
+		"title\n 1 1 1 1\nRUA 2 2 1 0\n(8I10) (8I10) (4E25.16)\n1 2\n9\n1.0\n", // row index out of range
+		"title\n 1 1 1 1\nRUA 2 2 1 0\n(8I10) (8I10) (4E25.16)\n1 2\n",         // truncated indices
+		"title\n 1 1 1 1\nRUA 2 2 1 0\n(8I10) (8I10) (4E25.16)\n1 2\n1\nxyz\n", // bad value
+		"title\n 1 1 1 1\nRUA x y z 0\n(8I10) (8I10) (4E25.16)\n1 2\n1\n1.0\n", // bad dims
+	}
+	for i, src := range cases {
+		if _, err := ReadHarwellBoeing(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestHarwellBoeingRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	a := randomCSC(5, 8, 0.4, rng)
+	var buf bytes.Buffer
+	if err := WriteHarwellBoeing(&buf, a, strings.Repeat("x", 100)); err != nil {
+		t.Fatal(err) // long title must be truncated, not fail
+	}
+	b, err := ReadHarwellBoeing(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.SamePattern(a) {
+		t.Fatal("pattern changed")
+	}
+}

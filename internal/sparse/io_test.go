@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomCSC(10, 7, 0.3, rng)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("MatrixMarket round trip failed")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 4.0
+3 3 1.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 6 {
+		t.Fatalf("NNZ = %d, want 6 (expanded)", a.NNZ())
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Fatal("symmetric expansion wrong")
+	}
+	if a.At(1, 2) != 4 || a.At(2, 1) != 4 {
+		t.Fatal("symmetric expansion wrong for (3,2)")
+	}
+}
+
+func TestMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 0) != 3 || a.At(0, 1) != -3 {
+		t.Fatalf("skew expansion wrong: %v %v", a.At(1, 0), a.At(0, 1))
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 1
+2 3
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 2) != 1 {
+		t.Fatal("pattern values should be 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n1 1 1\n1 1 1.0\n",
+		"%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n", // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error, got nil", i)
+		}
+	}
+}
+
+func TestMatrixMarketCommentsAndBlankLines(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+
+% another
+2 2 2
+
+1 1 5.0
+% interior comment
+2 2 6.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 5 || a.At(1, 1) != 6 {
+		t.Fatal("comment handling broke values")
+	}
+}

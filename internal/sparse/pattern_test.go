@@ -1,0 +1,206 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternOfAndHas(t *testing.T) {
+	a := small3x3()
+	p := PatternOf(a)
+	if p.NNZ() != 6 {
+		t.Fatalf("NNZ = %d, want 6", p.NNZ())
+	}
+	if !p.Has(2, 1) || p.Has(0, 1) {
+		t.Fatal("Has gives wrong structure")
+	}
+}
+
+func TestPatternTranspose(t *testing.T) {
+	a := small3x3()
+	p := PatternOf(a).Transpose()
+	q := PatternOf(a.Transpose())
+	if p.NNZ() != q.NNZ() {
+		t.Fatalf("transpose NNZ mismatch %d vs %d", p.NNZ(), q.NNZ())
+	}
+	for j := 0; j < 3; j++ {
+		pc, qc := p.Col(j), q.Col(j)
+		if len(pc) != len(qc) {
+			t.Fatalf("col %d length mismatch", j)
+		}
+		for k := range pc {
+			if pc[k] != qc[k] {
+				t.Fatalf("col %d mismatch %v vs %v", j, pc, qc)
+			}
+		}
+	}
+}
+
+func TestATAPatternSmall(t *testing.T) {
+	// A = [1 0 2; 0 3 0; 4 5 6]: AᵀA has structure
+	// col0 shares rows with col1 (row 2), col2 (rows 0,2) → full row 0
+	a := small3x3()
+	ata := ATAPattern(a)
+	// Compute reference densely.
+	d := a.ToDense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := false
+			for r := 0; r < 3; r++ {
+				if d[r*3+i] != 0 && d[r*3+j] != 0 {
+					want = true
+				}
+			}
+			if got := ata.Has(i, j); got != want {
+				t.Errorf("ATA(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestATAPatternMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		nr := 3 + rng.Intn(12)
+		nc := 3 + rng.Intn(12)
+		a := randomCSC(nr, nc, 0.2, rng)
+		ata := ATAPattern(a)
+		d := a.ToDense()
+		for i := 0; i < nc; i++ {
+			for j := 0; j < nc; j++ {
+				want := false
+				for r := 0; r < nr; r++ {
+					if d[r*nc+i] != 0 && d[r*nc+j] != 0 {
+						want = true
+						break
+					}
+				}
+				if got := ata.Has(i, j); got != want {
+					t.Fatalf("trial %d: ATA(%d,%d) = %v, want %v", trial, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestATAPatternSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomCSC(20, 15, 0.15, rng)
+	ata := ATAPattern(a)
+	for j := 0; j < 15; j++ {
+		for _, i := range ata.Col(j) {
+			if !ata.Has(j, i) {
+				t.Fatalf("AᵀA pattern not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSymmetrizePattern(t *testing.T) {
+	a := small3x3()
+	s := SymmetrizePattern(a)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := a.Has(i, j) || a.Has(j, i)
+			if got := s.Has(i, j); got != want {
+				t.Errorf("symmetrize(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPatternContains(t *testing.T) {
+	a := small3x3()
+	p := PatternOf(a)
+	if !PatternContains(p, p) {
+		t.Fatal("pattern should contain itself")
+	}
+	s := SymmetrizePattern(a)
+	if !PatternContains(s, p) {
+		t.Fatal("A+Aᵀ should contain A")
+	}
+	if PatternContains(p, s) {
+		t.Fatal("A should not contain A+Aᵀ here")
+	}
+}
+
+func TestUnionSorted(t *testing.T) {
+	got := UnionSorted([]int{1, 3, 5}, []int{2, 3, 6})
+	want := []int{1, 2, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("UnionSorted = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("UnionSorted = %v, want %v", got, want)
+		}
+	}
+	if out := UnionSorted(nil, nil); len(out) != 0 {
+		t.Fatalf("UnionSorted(nil,nil) = %v", out)
+	}
+	if out := UnionSorted([]int{1}, nil); len(out) != 1 || out[0] != 1 {
+		t.Fatalf("UnionSorted([1],nil) = %v", out)
+	}
+}
+
+func TestQuickUnionSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() []int {
+			n := rng.Intn(20)
+			set := map[int]bool{}
+			for i := 0; i < n; i++ {
+				set[rng.Intn(30)] = true
+			}
+			out := make([]int, 0, len(set))
+			for v := range set {
+				out = append(out, v)
+			}
+			// insertion sort
+			for i := 1; i < len(out); i++ {
+				for k := i; k > 0 && out[k-1] > out[k]; k-- {
+					out[k-1], out[k] = out[k], out[k-1]
+				}
+			}
+			return out
+		}
+		a, b := gen(), gen()
+		u := UnionSorted(a, b)
+		seen := map[int]bool{}
+		for i := range u {
+			if i > 0 && u[i-1] >= u[i] {
+				return false
+			}
+			seen[u[i]] = true
+		}
+		for _, v := range a {
+			if !seen[v] {
+				return false
+			}
+		}
+		for _, v := range b {
+			if !seen[v] {
+				return false
+			}
+		}
+		return len(seen) == len(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternToCSC(t *testing.T) {
+	a := small3x3()
+	p := PatternOf(a)
+	b := p.ToCSC(1)
+	if b.NNZ() != a.NNZ() {
+		t.Fatalf("ToCSC NNZ = %d, want %d", b.NNZ(), a.NNZ())
+	}
+	for _, v := range b.Val {
+		if v != 1 {
+			t.Fatal("ToCSC value not 1")
+		}
+	}
+}

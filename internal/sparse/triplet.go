@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is a coordinate-format (COO) sparse matrix used for assembly.
+// Duplicate entries are allowed; they are summed when converting to CSC.
+type Triplet struct {
+	NRows, NCols int
+	I, J         []int
+	V            []float64
+}
+
+// NewTriplet returns an empty nrows×ncols triplet matrix.
+func NewTriplet(nrows, ncols int) *Triplet {
+	if nrows < 0 || ncols < 0 {
+		panic("sparse: negative dimension")
+	}
+	return &Triplet{NRows: nrows, NCols: ncols}
+}
+
+// Add appends the entry (i, j, v). Zero values are kept: an explicit zero
+// contributes to the sparsity pattern, which matters for structural
+// analyses such as symbolic factorization.
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.NRows || j < 0 || j >= t.NCols {
+		panic(fmt.Sprintf("sparse: Triplet.Add index (%d,%d) out of %d×%d", i, j, t.NRows, t.NCols))
+	}
+	t.I = append(t.I, i)
+	t.J = append(t.J, j)
+	t.V = append(t.V, v)
+}
+
+// NNZ returns the number of stored entries (before duplicate summation).
+func (t *Triplet) NNZ() int { return len(t.I) }
+
+// ToCSC converts the triplet matrix to compressed sparse column form,
+// summing duplicates. Row indices within each column come out sorted.
+func (t *Triplet) ToCSC() *CSC {
+	n := t.NCols
+	count := make([]int, n+1)
+	for _, j := range t.J {
+		count[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		count[j+1] += count[j]
+	}
+	colPtr := make([]int, n+1)
+	copy(colPtr, count)
+	rowInd := make([]int, len(t.I))
+	val := make([]float64, len(t.I))
+	next := make([]int, n)
+	copy(next, colPtr[:n])
+	for k, j := range t.J {
+		p := next[j]
+		rowInd[p] = t.I[k]
+		val[p] = t.V[k]
+		next[j]++
+	}
+	a := &CSC{NRows: t.NRows, NCols: t.NCols, ColPtr: colPtr, RowInd: rowInd, Val: val}
+	a.SortIndices()
+	a.sumDuplicates()
+	return a
+}
+
+// sortPairs sorts (ind, val) pairs in a column segment by index.
+type pairSorter struct {
+	ind []int
+	val []float64
+}
+
+func (s pairSorter) Len() int           { return len(s.ind) }
+func (s pairSorter) Less(i, j int) bool { return s.ind[i] < s.ind[j] }
+func (s pairSorter) Swap(i, j int) {
+	s.ind[i], s.ind[j] = s.ind[j], s.ind[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+var _ sort.Interface = pairSorter{}

@@ -1,0 +1,240 @@
+// Package supernode implements the L/U supernode partitioning of S+/S*
+// (Section 3 of the paper): consecutive columns whose L̄ columns share
+// one structure below the diagonal block and whose Ū rows share one
+// structure right of it are grouped, the same partition is applied to
+// the rows, and small supernodes are amalgamated. The result is an N×N
+// submatrix blocking where every structurally nonzero block is handled
+// as a dense matrix by the numeric factorization (S+ deliberately
+// computes on the explicit zeros inside blocks).
+package supernode
+
+import (
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+)
+
+// Partition groups the n columns (and rows) of a matrix into N
+// consecutive blocks.
+type Partition struct {
+	N int // matrix dimension
+	// BlockStart has length NumBlocks+1; block K covers columns
+	// [BlockStart[K], BlockStart[K+1]).
+	BlockStart []int
+	// ColToBlock maps a column to its block index.
+	ColToBlock []int
+}
+
+// NumBlocks returns the number of supernode blocks.
+func (p *Partition) NumBlocks() int { return len(p.BlockStart) - 1 }
+
+// Size returns the width of block k.
+func (p *Partition) Size(k int) int { return p.BlockStart[k+1] - p.BlockStart[k] }
+
+// Range returns the half-open column range of block k.
+func (p *Partition) Range(k int) (lo, hi int) { return p.BlockStart[k], p.BlockStart[k+1] }
+
+// MaxSize returns the width of the widest block.
+func (p *Partition) MaxSize() int {
+	m := 0
+	for k := 0; k < p.NumBlocks(); k++ {
+		if s := p.Size(k); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// AvgSize returns the mean block width.
+func (p *Partition) AvgSize() float64 {
+	if p.NumBlocks() == 0 {
+		return 0
+	}
+	return float64(p.N) / float64(p.NumBlocks())
+}
+
+func fromStarts(n int, starts []int) *Partition {
+	p := &Partition{N: n, BlockStart: starts, ColToBlock: make([]int, n)}
+	for k := 0; k+1 < len(starts); k++ {
+		for c := starts[k]; c < starts[k+1]; c++ {
+			p.ColToBlock[c] = k
+		}
+	}
+	return p
+}
+
+// Trivial returns the partition with one column per block.
+func Trivial(n int) *Partition {
+	starts := make([]int, n+1)
+	for i := range starts {
+		starts[i] = i
+	}
+	return fromStarts(n, starts)
+}
+
+// equalTail reports whether a with its first element dropped equals b
+// (both sorted).
+func equalTail(a, b []int) bool {
+	if len(a) != len(b)+1 {
+		return false
+	}
+	for i, v := range b {
+		if a[i+1] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictPartition computes the L/U supernode partition of a static
+// symbolic factorization: columns j and j+1 belong to the same supernode
+// iff
+//
+//	struct(L̄_{*,j}) \ {j} = struct(L̄_{*,j+1})   (dense L diagonal block,
+//	                                             equal structure below), and
+//	struct(Ū_{j,*}) \ {j} = struct(Ū_{j+1,*})   (equal U row structure
+//	                                             right of the block).
+func StrictPartition(sym *symbolic.Result) *Partition {
+	n := sym.N
+	starts := []int{0}
+	for j := 1; j < n; j++ {
+		lPrev := sym.L.Col(j - 1) // starts at j-1
+		lCur := sym.L.Col(j)      // starts at j
+		uPrev := sym.URows.Col(j - 1)
+		uCur := sym.URows.Col(j)
+		same := equalTail(lPrev, lCur) && equalTail(uPrev, uCur)
+		if !same {
+			starts = append(starts, j)
+		}
+	}
+	starts = append(starts, n)
+	return fromStarts(n, starts)
+}
+
+// AmalgamationOptions tunes the supernode amalgamation.
+type AmalgamationOptions struct {
+	// MaxSize caps the width of an amalgamated supernode. ≤0 means 32.
+	MaxSize int
+	// MaxFill is the maximum allowed fraction of explicit zeros that a
+	// merge may introduce into the merged panels, relative to the merged
+	// panel storage. Negative means 0.25.
+	MaxFill float64
+}
+
+func (o AmalgamationOptions) withDefaults() AmalgamationOptions {
+	if o.MaxSize <= 0 {
+		o.MaxSize = 32
+	}
+	if o.MaxFill < 0 {
+		o.MaxFill = 0.25
+	}
+	return o
+}
+
+// Amalgamate greedily merges consecutive supernodes while the combined
+// width stays within MaxSize and the explicit zeros introduced into the
+// dense panel storage stay below MaxFill of the merged storage. Merging
+// consecutive blocks is always structurally safe because blocks are
+// stored dense.
+func Amalgamate(p *Partition, sym *symbolic.Result, opts AmalgamationOptions) *Partition {
+	opts = opts.withDefaults()
+	nb := p.NumBlocks()
+	if nb <= 1 {
+		return p
+	}
+
+	type panelStat struct {
+		width int
+		lRows []int // union of L column structures (rows ≥ lo)
+		uCols []int // union of U row structures (cols ≥ lo)
+		lNNZ  int   // Σ |L̄ col| within the group
+		uNNZ  int   // Σ |Ū row| within the group
+	}
+	stat := func(lo, hi int) panelStat {
+		s := panelStat{width: hi - lo}
+		for c := lo; c < hi; c++ {
+			lc := sym.L.Col(c)
+			uc := sym.URows.Col(c)
+			s.lNNZ += len(lc)
+			s.uNNZ += len(uc)
+			s.lRows = sparse.UnionSorted(s.lRows, lc)
+			s.uCols = sparse.UnionSorted(s.uCols, uc)
+		}
+		return s
+	}
+	storage := func(s panelStat) int {
+		return s.width * (len(s.lRows) + len(s.uCols))
+	}
+	actual := func(s panelStat) int { return s.lNNZ + s.uNNZ }
+
+	var starts []int
+	starts = append(starts, 0)
+	cur := stat(p.BlockStart[0], p.BlockStart[1])
+	for k := 1; k < nb; k++ {
+		lo, hi := p.Range(k)
+		next := stat(lo, hi)
+		if cur.width+next.width <= opts.MaxSize {
+			mergedLRows := sparse.UnionSorted(cur.lRows, next.lRows)
+			mergedUCols := sparse.UnionSorted(cur.uCols, next.uCols)
+			merged := panelStat{
+				width: cur.width + next.width,
+				lRows: mergedLRows,
+				uCols: mergedUCols,
+				lNNZ:  cur.lNNZ + next.lNNZ,
+				uNNZ:  cur.uNNZ + next.uNNZ,
+			}
+			if st := storage(merged); st > 0 &&
+				float64(st-actual(merged)) <= opts.MaxFill*float64(st) {
+				cur = merged
+				continue
+			}
+		}
+		starts = append(starts, lo)
+		cur = next
+	}
+	starts = append(starts, p.N)
+	return fromStarts(p.N, starts)
+}
+
+// BlockPattern computes the N×N block sparsity structure induced by the
+// partition: block (I, J) is present iff Ā has a structural entry inside
+// the submatrix. The diagonal blocks are always present.
+func BlockPattern(sym *symbolic.Result, p *Partition) *sparse.Pattern {
+	nb := p.NumBlocks()
+	t := sparse.NewTriplet(nb, nb)
+	seen := make(map[[2]int]bool)
+	add := func(i, j int) {
+		bi, bj := p.ColToBlock[i], p.ColToBlock[j]
+		key := [2]int{bi, bj}
+		if !seen[key] {
+			seen[key] = true
+			t.Add(bi, bj, 1)
+		}
+	}
+	for k := 0; k < nb; k++ {
+		t.Add(k, k, 1)
+		seen[[2]int{k, k}] = true
+	}
+	for j := 0; j < sym.N; j++ {
+		for _, i := range sym.L.Col(j) {
+			add(i, j)
+		}
+		for _, i := range sym.U.Col(j) {
+			add(i, j)
+		}
+	}
+	return sparse.PatternOf(t.ToCSC())
+}
+
+// ExplicitZeros counts how many explicit zeros the dense-block storage
+// of the given block pattern carries relative to the scalar structure Ā:
+// stored − |Ā|, where stored is the total area of the present blocks.
+func ExplicitZeros(sym *symbolic.Result, p *Partition, blocks *sparse.Pattern) int {
+	stored := 0
+	for bj := 0; bj < blocks.NCols; bj++ {
+		w := p.Size(bj)
+		for _, bi := range blocks.Col(bj) {
+			stored += p.Size(bi) * w
+		}
+	}
+	return stored - sym.NNZ()
+}

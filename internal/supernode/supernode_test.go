@@ -1,0 +1,308 @@
+package supernode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/etree"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+)
+
+func randomZeroFreeDiag(n int, density float64, rng *rand.Rand) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		t.Add(i, i, 1+rng.Float64())
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				t.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+func mustFactor(t *testing.T, a *sparse.CSC) *symbolic.Result {
+	t.Helper()
+	r, err := symbolic.Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTrivialPartition(t *testing.T) {
+	p := Trivial(5)
+	if p.NumBlocks() != 5 {
+		t.Fatalf("NumBlocks = %d", p.NumBlocks())
+	}
+	for k := 0; k < 5; k++ {
+		if p.Size(k) != 1 || p.ColToBlock[k] != k {
+			t.Fatal("trivial partition malformed")
+		}
+	}
+	if p.MaxSize() != 1 || p.AvgSize() != 1 {
+		t.Fatal("trivial stats wrong")
+	}
+}
+
+func TestStrictPartitionDense(t *testing.T) {
+	// A dense matrix is one single supernode.
+	n := 6
+	d := make([]float64, n*n)
+	for i := range d {
+		d[i] = 1
+	}
+	sym := mustFactor(t, sparse.FromDense(d, n, n, 0))
+	p := StrictPartition(sym)
+	if p.NumBlocks() != 1 {
+		t.Fatalf("dense matrix gives %d supernodes, want 1", p.NumBlocks())
+	}
+}
+
+func TestStrictPartitionDiagonal(t *testing.T) {
+	// A diagonal matrix: no column shares structure with the next in the
+	// supernode sense (L col j = {j}, next col has {j+1}: tails equal —
+	// but the L condition needs j+1 ∈ struct(L col j), which fails).
+	tr := sparse.NewTriplet(4, 4)
+	for i := 0; i < 4; i++ {
+		tr.Add(i, i, 1)
+	}
+	sym := mustFactor(t, tr.ToCSC())
+	p := StrictPartition(sym)
+	if p.NumBlocks() != 4 {
+		t.Fatalf("diagonal matrix gives %d supernodes, want 4", p.NumBlocks())
+	}
+}
+
+// Verify the supernode invariant on the result: within a block, L
+// columns have identical structure below the block and a dense diagonal
+// block; U rows have identical structure right of the block.
+func checkPartitionInvariant(t *testing.T, sym *symbolic.Result, p *Partition) {
+	t.Helper()
+	for k := 0; k < p.NumBlocks(); k++ {
+		lo, hi := p.Range(k)
+		for c := lo + 1; c < hi; c++ {
+			lPrev, lCur := sym.L.Col(c-1), sym.L.Col(c)
+			if len(lPrev) != len(lCur)+1 {
+				t.Fatalf("block %d: L col %d and %d lengths %d,%d", k, c-1, c, len(lPrev), len(lCur))
+			}
+			for i := range lCur {
+				if lPrev[i+1] != lCur[i] {
+					t.Fatalf("block %d: L cols %d,%d structure mismatch", k, c-1, c)
+				}
+			}
+			uPrev, uCur := sym.URows.Col(c-1), sym.URows.Col(c)
+			if len(uPrev) != len(uCur)+1 {
+				t.Fatalf("block %d: U rows %d,%d lengths", k, c-1, c)
+			}
+			for i := range uCur {
+				if uPrev[i+1] != uCur[i] {
+					t.Fatalf("block %d: U rows %d,%d structure mismatch", k, c-1, c)
+				}
+			}
+		}
+	}
+}
+
+func TestStrictPartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(30)
+		sym := mustFactor(t, randomZeroFreeDiag(n, 0.15, rng))
+		checkPartitionInvariant(t, sym, StrictPartition(sym))
+	}
+}
+
+func TestStrictPartitionMaximal(t *testing.T) {
+	// No two adjacent strict blocks could be merged while preserving the
+	// invariant: the boundary columns must violate one of the conditions.
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(25)
+		sym := mustFactor(t, randomZeroFreeDiag(n, 0.2, rng))
+		p := StrictPartition(sym)
+		for k := 1; k < p.NumBlocks(); k++ {
+			c := p.BlockStart[k]
+			lPrev, lCur := sym.L.Col(c-1), sym.L.Col(c)
+			uPrev, uCur := sym.URows.Col(c-1), sym.URows.Col(c)
+			if equalTail(lPrev, lCur) && equalTail(uPrev, uCur) {
+				t.Fatalf("trial %d: blocks %d,%d could have been merged at col %d", trial, k-1, k, c)
+			}
+		}
+	}
+}
+
+func TestPostorderingEnlargesSupernodes(t *testing.T) {
+	// The paper's Table 3 effect: on structured matrices, postordering
+	// the LU eforest must not increase the number of supernodes, and
+	// usually decreases it. Use a matrix whose natural order scatters
+	// siblings: a grid-like operator permuted randomly is too noisy to
+	// guarantee a strict decrease, so require only SNPO ≤ SN across a
+	// batch and a strict decrease in aggregate.
+	rng := rand.New(rand.NewSource(73))
+	totalSN, totalSNPO := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(30)
+		a := randomZeroFreeDiag(n, 0.06, rng)
+		sym := mustFactor(t, a)
+		sn := StrictPartition(sym).NumBlocks()
+		po := etree.PostorderSymbolic(sym, etree.LUForest(sym))
+		snpo := StrictPartition(po.Sym).NumBlocks()
+		totalSN += sn
+		totalSNPO += snpo
+	}
+	if totalSNPO > totalSN {
+		t.Fatalf("postordering increased supernode count in aggregate: %d → %d", totalSN, totalSNPO)
+	}
+}
+
+func TestAmalgamateRespectsMaxSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	sym := mustFactor(t, randomZeroFreeDiag(60, 0.05, rng))
+	p := StrictPartition(sym)
+	for _, maxSize := range []int{1, 2, 4, 8} {
+		am := Amalgamate(p, sym, AmalgamationOptions{MaxSize: maxSize, MaxFill: 1})
+		if am.MaxSize() > maxSize && p.MaxSize() <= maxSize {
+			t.Fatalf("amalgamation exceeded MaxSize %d: %d", maxSize, am.MaxSize())
+		}
+		// Partition must still tile [0, n).
+		if am.BlockStart[0] != 0 || am.BlockStart[am.NumBlocks()] != 60 {
+			t.Fatal("amalgamated partition does not tile the matrix")
+		}
+		for k := 1; k <= am.NumBlocks(); k++ {
+			if am.BlockStart[k] <= am.BlockStart[k-1] {
+				t.Fatal("non-increasing block starts")
+			}
+		}
+	}
+}
+
+func TestAmalgamateZeroFillKeepsExactZeros(t *testing.T) {
+	// With MaxFill = 0, merges happen only when they add no explicit
+	// zeros, so the explicit-zero count of the panel view must not grow.
+	rng := rand.New(rand.NewSource(75))
+	sym := mustFactor(t, randomZeroFreeDiag(40, 0.08, rng))
+	p := StrictPartition(sym)
+	am := Amalgamate(p, sym, AmalgamationOptions{MaxSize: 16, MaxFill: 0})
+	if am.NumBlocks() > p.NumBlocks() {
+		t.Fatal("amalgamation increased the block count")
+	}
+	checkNoPanelZeros := func(part *Partition) bool {
+		for k := 0; k < part.NumBlocks(); k++ {
+			lo, hi := part.Range(k)
+			var lRows, uCols []int
+			lNNZ, uNNZ := 0, 0
+			for c := lo; c < hi; c++ {
+				lRows = sparse.UnionSorted(lRows, sym.L.Col(c))
+				uCols = sparse.UnionSorted(uCols, sym.URows.Col(c))
+				lNNZ += len(sym.L.Col(c))
+				uNNZ += len(sym.URows.Col(c))
+			}
+			if (hi-lo)*(len(lRows)+len(uCols)) != lNNZ+uNNZ {
+				return false
+			}
+		}
+		return true
+	}
+	if checkNoPanelZeros(p) && !checkNoPanelZeros(am) {
+		t.Fatal("MaxFill=0 amalgamation introduced explicit panel zeros")
+	}
+}
+
+func TestBlockPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	sym := mustFactor(t, randomZeroFreeDiag(30, 0.1, rng))
+	p := Amalgamate(StrictPartition(sym), sym, AmalgamationOptions{MaxSize: 6, MaxFill: 0.5})
+	bp := BlockPattern(sym, p)
+	if bp.NCols != p.NumBlocks() {
+		t.Fatalf("block pattern is %d×%d, want %d", bp.NRows, bp.NCols, p.NumBlocks())
+	}
+	// Diagonal blocks present.
+	for k := 0; k < p.NumBlocks(); k++ {
+		if !bp.Has(k, k) {
+			t.Fatalf("diagonal block %d missing", k)
+		}
+	}
+	// Every scalar entry is covered by a block; every off-diagonal block
+	// contains at least one scalar entry.
+	hasEntry := make(map[[2]int]bool)
+	for j := 0; j < sym.N; j++ {
+		for _, i := range sym.L.Col(j) {
+			bi, bj := p.ColToBlock[i], p.ColToBlock[j]
+			if !bp.Has(bi, bj) {
+				t.Fatalf("entry (%d,%d) not covered by block pattern", i, j)
+			}
+			hasEntry[[2]int{bi, bj}] = true
+		}
+		for _, i := range sym.U.Col(j) {
+			bi, bj := p.ColToBlock[i], p.ColToBlock[j]
+			if !bp.Has(bi, bj) {
+				t.Fatalf("entry (%d,%d) not covered by block pattern", i, j)
+			}
+			hasEntry[[2]int{bi, bj}] = true
+		}
+	}
+	for bj := 0; bj < bp.NCols; bj++ {
+		for _, bi := range bp.Col(bj) {
+			if bi != bj && !hasEntry[[2]int{bi, bj}] {
+				t.Fatalf("block (%d,%d) has no scalar entry", bi, bj)
+			}
+		}
+	}
+}
+
+func TestExplicitZeros(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sym := mustFactor(t, randomZeroFreeDiag(25, 0.12, rng))
+	p := StrictPartition(sym)
+	bp := BlockPattern(sym, p)
+	z := ExplicitZeros(sym, p, bp)
+	if z < 0 {
+		t.Fatalf("ExplicitZeros = %d < 0", z)
+	}
+	// Amalgamating aggressively can only increase explicit zeros.
+	am := Amalgamate(p, sym, AmalgamationOptions{MaxSize: 25, MaxFill: 1})
+	za := ExplicitZeros(sym, am, BlockPattern(sym, am))
+	if za < z {
+		t.Fatalf("aggressive amalgamation decreased explicit zeros: %d → %d", z, za)
+	}
+}
+
+// Property: partitions returned by StrictPartition and Amalgamate are
+// always well-formed tilings.
+func TestQuickPartitionWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := randomZeroFreeDiag(n, 0.15, rng)
+		sym, err := symbolic.Factor(a)
+		if err != nil {
+			return false
+		}
+		for _, p := range []*Partition{
+			StrictPartition(sym),
+			Amalgamate(StrictPartition(sym), sym, AmalgamationOptions{MaxSize: 1 + rng.Intn(10), MaxFill: rng.Float64()}),
+		} {
+			if p.BlockStart[0] != 0 || p.BlockStart[p.NumBlocks()] != n {
+				return false
+			}
+			for k := 0; k < p.NumBlocks(); k++ {
+				lo, hi := p.Range(k)
+				if hi <= lo {
+					return false
+				}
+				for c := lo; c < hi; c++ {
+					if p.ColToBlock[c] != k {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package symbolic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func benchMatrix(n int, nnzPerRow int, seed int64) *sparse.CSC {
+	rng := rand.New(rand.NewSource(seed))
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		t.Add(i, i, 1)
+		for k := 0; k < nnzPerRow; k++ {
+			t.Add(i, rng.Intn(n), 1)
+		}
+	}
+	return t.ToCSC()
+}
+
+func BenchmarkStaticFactor(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		a := benchMatrix(n, 4, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Factor(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCholeskyFill(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		a := benchMatrix(n, 4, int64(n))
+		g := sparse.SymmetrizePattern(a)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CholeskyFill(g)
+			}
+		})
+	}
+}
+
+func BenchmarkSuperLUBound(b *testing.B) {
+	a := benchMatrix(1000, 4, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SuperLUBound(a)
+	}
+}

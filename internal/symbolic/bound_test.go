@@ -1,0 +1,121 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// denseCholeskyFill is the O(n³) reference: symbolic elimination on a
+// boolean matrix.
+func denseCholeskyFill(g *sparse.Pattern) int {
+	n := g.NCols
+	s := make([][]bool, n)
+	for i := range s {
+		s[i] = make([]bool, n)
+		s[i][i] = true
+	}
+	for j := 0; j < n; j++ {
+		for _, i := range g.Col(j) {
+			s[i][j] = true
+			s[j][i] = true
+		}
+	}
+	count := 0
+	for k := 0; k < n; k++ {
+		for i := k; i < n; i++ {
+			if s[i][k] {
+				count++
+				for j := k + 1; j < n; j++ {
+					if s[k][j] {
+						s[i][j] = true
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+func randomSymPattern(n int, density float64, rng *rand.Rand) *sparse.Pattern {
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		t.Add(i, i, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if rng.Float64() < density {
+				t.Add(i, j, 1)
+				t.Add(j, i, 1)
+			}
+		}
+	}
+	return sparse.PatternOf(t.ToCSC())
+}
+
+func TestCholeskyFillMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(25)
+		g := randomSymPattern(n, 0.2, rng)
+		got := CholeskyFill(g)
+		want := denseCholeskyFill(g)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): CholeskyFill = %d, dense reference %d", trial, n, got, want)
+		}
+	}
+}
+
+func TestCholeskyFillDiagonal(t *testing.T) {
+	tr := sparse.NewTriplet(6, 6)
+	for i := 0; i < 6; i++ {
+		tr.Add(i, i, 1)
+	}
+	if got := CholeskyFill(sparse.PatternOf(tr.ToCSC())); got != 6 {
+		t.Fatalf("diagonal fill = %d, want 6", got)
+	}
+}
+
+func TestCholeskyFillDense(t *testing.T) {
+	n := 7
+	d := make([]float64, n*n)
+	for i := range d {
+		d[i] = 1
+	}
+	g := sparse.PatternOf(sparse.FromDense(d, n, n, 0))
+	if got := CholeskyFill(g); got != n*(n+1)/2 {
+		t.Fatalf("dense fill = %d, want %d", got, n*(n+1)/2)
+	}
+}
+
+// The hierarchy the paper relies on: actual fill ≤ static |Ā| ≤ the
+// column-etree (SuperLU/AᵀA) bound.
+func TestBoundHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(30)
+		a := randomZeroFreeDiag(n, 0.12, rng)
+		sym, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := SuperLUBound(a)
+		if sym.NNZ() > bound {
+			t.Fatalf("trial %d: static |Ā| = %d exceeds the AᵀA bound %d", trial, sym.NNZ(), bound)
+		}
+	}
+}
+
+func TestLowerPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	g := randomSymPattern(10, 0.3, rng)
+	lo := lowerPattern(g)
+	for j := 0; j < 10; j++ {
+		for _, i := range lo.Col(j) {
+			if i < j {
+				t.Fatalf("lowerPattern kept (%d,%d)", i, j)
+			}
+		}
+	}
+}

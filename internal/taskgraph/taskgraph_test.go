@@ -1,0 +1,430 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/etree"
+	"repro/internal/sparse"
+	"repro/internal/supernode"
+	"repro/internal/symbolic"
+)
+
+// paperMatrix is the 7×7 worked example shared with the etree tests; its
+// LU eforest is the chain/tree 0→3→4→5→6 with 1→4 and 2→5.
+func paperMatrix() *sparse.CSC {
+	t := sparse.NewTriplet(7, 7)
+	entries := [][2]int{
+		{0, 0}, {0, 3},
+		{1, 1}, {1, 4},
+		{2, 2}, {2, 5},
+		{3, 0}, {3, 3}, {3, 6},
+		{4, 1}, {4, 4}, {4, 6},
+		{5, 2}, {5, 5}, {5, 6},
+		{6, 3}, {6, 4}, {6, 5}, {6, 6},
+	}
+	for k, e := range entries {
+		t.Add(e[0], e[1], float64(k+1))
+	}
+	return t.ToCSC()
+}
+
+func randomZeroFreeDiag(n int, density float64, rng *rand.Rand) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		t.Add(i, i, 1+rng.Float64())
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				t.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+func mustFactor(t *testing.T, a *sparse.CSC) *symbolic.Result {
+	t.Helper()
+	r, err := symbolic.Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func bothGraphs(t *testing.T, sym *symbolic.Result) (*Graph, *Graph, *etree.Forest) {
+	t.Helper()
+	f := etree.LUForest(sym)
+	return New(sym, nil, SStar), New(sym, f, EForest), f
+}
+
+// reachable computes whether dst is reachable from src.
+func reachable(g *Graph, src, dst int) bool {
+	seen := make([]bool, g.NumTasks())
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == dst {
+			return true
+		}
+		for _, s := range g.Succ[v] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, int(s))
+			}
+		}
+	}
+	return false
+}
+
+func TestTaskSetsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 10; trial++ {
+		sym := mustFactor(t, randomZeroFreeDiag(15+rng.Intn(15), 0.12, rng))
+		gs, ge, _ := bothGraphs(t, sym)
+		if gs.NumTasks() != ge.NumTasks() {
+			t.Fatalf("task counts differ: %d vs %d", gs.NumTasks(), ge.NumTasks())
+		}
+		for id := range gs.Tasks {
+			if gs.Tasks[id] != ge.Tasks[id] {
+				t.Fatalf("task %d differs: %v vs %v", id, gs.Tasks[id], ge.Tasks[id])
+			}
+		}
+	}
+}
+
+func TestGraphsAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 15; trial++ {
+		sym := mustFactor(t, randomZeroFreeDiag(10+rng.Intn(25), 0.12, rng))
+		gs, ge, _ := bothGraphs(t, sym)
+		if _, err := gs.TopoOrder(); err != nil {
+			t.Fatalf("S* graph: %v", err)
+		}
+		if _, err := ge.TopoOrder(); err != nil {
+			t.Fatalf("eforest graph: %v", err)
+		}
+	}
+}
+
+func TestFactorPrecedesItsUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	sym := mustFactor(t, randomZeroFreeDiag(20, 0.12, rng))
+	for _, g := range func() []*Graph { a, b, _ := bothGraphs(t, sym); return []*Graph{a, b} }() {
+		for k := 0; k < g.N; k++ {
+			for j, id := range g.UpdateID[k] {
+				if !reachable(g, g.FactorID[k], id) {
+					t.Fatalf("%v: F(%d) does not precede U(%d,%d)", g.Variant, k, k, j)
+				}
+			}
+		}
+	}
+}
+
+// In both graphs, every update whose source lies in the subtree of k
+// must complete before F(k): those are the updates that write the panel
+// F(k) factorizes.
+func TestPanelUpdatesPrecedeFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 15; trial++ {
+		sym := mustFactor(t, randomZeroFreeDiag(8+rng.Intn(20), 0.15, rng))
+		gs, ge, f := bothGraphs(t, sym)
+		for _, g := range []*Graph{gs, ge} {
+			for k := 0; k < g.N; k++ {
+				for i := 0; i < k; i++ {
+					id, ok := g.UpdateID[i][k]
+					if !ok {
+						continue
+					}
+					if !f.IsAncestor(k, i) {
+						continue // update from an earlier tree: touches only rows above k
+					}
+					if !reachable(g, id, g.FactorID[k]) {
+						t.Fatalf("%v trial %d: U(%d,%d) does not precede F(%d)", g.Variant, trial, i, k, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theorem 4 ordering: U(i,k) must precede U(i',k) whenever i' is an
+// ancestor of i (both graphs must enforce this; S* does it by index
+// order, the eforest graph by parent chains).
+func TestAncestorUpdateOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for trial := 0; trial < 15; trial++ {
+		sym := mustFactor(t, randomZeroFreeDiag(8+rng.Intn(20), 0.15, rng))
+		gs, ge, f := bothGraphs(t, sym)
+		for _, g := range []*Graph{gs, ge} {
+			for j := 0; j < g.N; j++ {
+				// Collect update tasks targeting j.
+				var srcs []int
+				for i := 0; i < j; i++ {
+					if _, ok := g.UpdateID[i][j]; ok {
+						srcs = append(srcs, i)
+					}
+				}
+				for _, a := range srcs {
+					for _, b := range srcs {
+						if a == b || !f.IsAncestor(b, a) {
+							continue
+						}
+						ia := g.UpdateID[a][j]
+						ib := g.UpdateID[b][j]
+						if !reachable(g, ia, ib) {
+							t.Fatalf("%v trial %d: U(%d,%d) does not precede U(%d,%d)", g.Variant, trial, a, j, b, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Independent-subtree updates must NOT be ordered in the eforest graph —
+// that is the parallelism the paper exposes.
+func TestIndependentUpdatesUnorderedInEForest(t *testing.T) {
+	sym := mustFactor(t, paperMatrix())
+	_, ge, f := bothGraphs(t, sym)
+	// Sources 0 and 1 are in independent subtrees (0 under 3, 1 under 4
+	// with neither an ancestor of the other); both update column 6.
+	if f.IsAncestor(0, 1) || f.IsAncestor(1, 0) {
+		t.Fatal("example no longer has independent sources 0 and 1")
+	}
+	id0 := ge.UpdateID[0][6]
+	id1 := ge.UpdateID[1][6]
+	if reachable(ge, id0, id1) || reachable(ge, id1, id0) {
+		t.Fatal("eforest graph orders updates from independent subtrees")
+	}
+}
+
+func TestSStarSerializesAllUpdates(t *testing.T) {
+	sym := mustFactor(t, paperMatrix())
+	gs, _, _ := bothGraphs(t, sym)
+	// In S*, updates on column 6 form a chain in ascending source order.
+	var prev = -1
+	for i := 0; i < 6; i++ {
+		id, ok := gs.UpdateID[i][6]
+		if !ok {
+			continue
+		}
+		if prev != -1 && !reachable(gs, prev, id) {
+			t.Fatalf("S*: U(·,6) chain broken between tasks %d and %d", prev, id)
+		}
+		prev = id
+	}
+}
+
+func TestEForestStrictlyMoreParallel(t *testing.T) {
+	sym := mustFactor(t, paperMatrix())
+	gs, ge, _ := bothGraphs(t, sym)
+	cpS, totS, err := gs.CriticalPath(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpE, totE, err := ge.CriticalPath(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totS != totE {
+		t.Fatalf("total work differs: %g vs %g", totS, totE)
+	}
+	if cpE > cpS {
+		t.Fatalf("eforest critical path %g longer than S* %g", cpE, cpS)
+	}
+	if ge.NumEdges > gs.NumEdges {
+		t.Fatalf("eforest graph has %d edges, S* has %d — expected no more", ge.NumEdges, gs.NumEdges)
+	}
+	// The parallelism gain must be real on this example: removing the
+	// false dependences strictly shrinks the set of ordered task pairs
+	// (e.g. U(0,6) and U(1,6) are unordered in the eforest graph).
+	if pe, ps := orderedPairs(ge), orderedPairs(gs); pe >= ps {
+		t.Fatalf("eforest graph has %d ordered pairs, S* has %d — expected fewer", pe, ps)
+	}
+}
+
+// orderedPairs counts the ordered task pairs (a, b) with b reachable
+// from a — the size of the transitive closure.
+func orderedPairs(g *Graph) int {
+	count := 0
+	for id := range g.Tasks {
+		seen := make([]bool, g.NumTasks())
+		stack := []int{id}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range g.Succ[v] {
+				if !seen[s] {
+					seen[s] = true
+					count++
+					stack = append(stack, int(s))
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestCriticalPathNeverWorseAcrossRandomMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for trial := 0; trial < 15; trial++ {
+		sym := mustFactor(t, randomZeroFreeDiag(15+rng.Intn(25), 0.1, rng))
+		gs, ge, _ := bothGraphs(t, sym)
+		cpS, _, _ := gs.CriticalPath(nil)
+		cpE, _, _ := ge.CriticalPath(nil)
+		if cpE > cpS {
+			t.Fatalf("trial %d: eforest critical path %g > S* %g", trial, cpE, cpS)
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if (Task{Kind: Factor, K: 3}).String() != "F(3)" {
+		t.Fatal("Factor String wrong")
+	}
+	if (Task{Kind: Update, K: 1, J: 4}).String() != "U(1,4)" {
+		t.Fatal("Update String wrong")
+	}
+	if SStar.String() != "S*" || EForest.String() != "eforest" {
+		t.Fatal("variant names wrong")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	sym := mustFactor(t, paperMatrix())
+	f := etree.LUForest(sym)
+	g := New(sym, f, EForest)
+	part := supernode.Trivial(sym.N)
+	cm := NewCostModel(g, sym, part)
+	if len(cm.TaskFlops) != g.NumTasks() {
+		t.Fatal("cost model size mismatch")
+	}
+	for id, c := range cm.TaskFlops {
+		if c <= 0 {
+			t.Fatalf("task %v has non-positive cost %g", g.Tasks[id], c)
+		}
+	}
+	if cm.TotalFlops() <= 0 {
+		t.Fatal("total flops non-positive")
+	}
+	cp, total, err := g.CriticalPath(cm.TaskFlops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp <= 0 || total < cp {
+		t.Fatalf("cp = %g, total = %g", cp, total)
+	}
+	if ap := g.AvgParallelism(cm.TaskFlops); ap < 1 {
+		t.Fatalf("average parallelism %g < 1", ap)
+	}
+}
+
+func TestCostModelPanelHeights(t *testing.T) {
+	sym := mustFactor(t, paperMatrix())
+	g := New(sym, etree.LUForest(sym), EForest)
+	cm := NewCostModel(g, sym, supernode.Trivial(sym.N))
+	for k := 0; k < sym.N; k++ {
+		if cm.PanelHeight[k] != len(sym.L.Col(k)) {
+			t.Fatalf("panel height %d = %d, want %d", k, cm.PanelHeight[k], len(sym.L.Col(k)))
+		}
+		if cm.Width[k] != 1 {
+			t.Fatalf("width %d = %d", k, cm.Width[k])
+		}
+	}
+}
+
+func TestGraphWithBlockedPartition(t *testing.T) {
+	// End-to-end through supernode blocking: build block structure,
+	// re-factor symbolically at block level, then both graphs.
+	rng := rand.New(rand.NewSource(87))
+	a := randomZeroFreeDiag(40, 0.08, rng)
+	sym := mustFactor(t, a)
+	part := supernode.Amalgamate(supernode.StrictPartition(sym), sym, supernode.AmalgamationOptions{MaxSize: 8, MaxFill: 0.3})
+	bp := supernode.BlockPattern(sym, part)
+	blockSym := mustFactor(t, bp.ToCSC(1))
+	f := etree.LUForest(blockSym)
+	gs := New(blockSym, nil, SStar)
+	ge := New(blockSym, f, EForest)
+	if _, err := gs.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ge.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	if ge.NumEdges > gs.NumEdges {
+		t.Fatalf("eforest %d edges > S* %d", ge.NumEdges, gs.NumEdges)
+	}
+}
+
+func TestNewPanicsWithoutForest(t *testing.T) {
+	sym := mustFactor(t, paperMatrix())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EForest without forest did not panic")
+		}
+	}()
+	New(sym, nil, EForest)
+}
+
+func TestNewPanicsUnknownVariant(t *testing.T) {
+	sym := mustFactor(t, paperMatrix())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown variant did not panic")
+		}
+	}()
+	New(sym, etree.LUForest(sym), Variant(99))
+}
+
+func TestUnknownVariantString(t *testing.T) {
+	if Variant(99).String() != "unknown" {
+		t.Fatal("unknown variant name")
+	}
+}
+
+func TestBottomLevels(t *testing.T) {
+	sym := mustFactor(t, paperMatrix())
+	g := New(sym, etree.LUForest(sym), EForest)
+	bl, err := g.BottomLevels(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bottom level of a task is strictly larger than that of each
+	// successor.
+	for id := range g.Succ {
+		for _, s := range g.Succ[id] {
+			if bl[id] <= bl[s] {
+				t.Fatalf("bottom level of %d (%g) not above successor %d (%g)", id, bl[id], s, bl[s])
+			}
+		}
+	}
+	// The max bottom level equals the unit critical path.
+	cp, _, _ := g.CriticalPath(nil)
+	maxBL := 0.0
+	for _, v := range bl {
+		if v > maxBL {
+			maxBL = v
+		}
+	}
+	if maxBL != cp {
+		t.Fatalf("max bottom level %g != critical path %g", maxBL, cp)
+	}
+}
+
+func TestDiagonalMatrixGraph(t *testing.T) {
+	// A diagonal matrix has only Factor tasks and no edges.
+	tr := sparse.NewTriplet(4, 4)
+	for i := 0; i < 4; i++ {
+		tr.Add(i, i, 1)
+	}
+	sym := mustFactor(t, tr.ToCSC())
+	g := New(sym, etree.LUForest(sym), EForest)
+	if g.NumTasks() != 4 || g.NumEdges != 0 {
+		t.Fatalf("tasks %d edges %d, want 4 0", g.NumTasks(), g.NumEdges)
+	}
+	if ap := g.AvgParallelism(nil); ap != 4 {
+		t.Fatalf("avg parallelism %g, want 4", ap)
+	}
+}

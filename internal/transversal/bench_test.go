@@ -1,0 +1,32 @@
+package transversal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func BenchmarkMaximumTransversal(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		p := sparse.RandomPerm(n, rng)
+		t := sparse.NewTriplet(n, n)
+		for j := 0; j < n; j++ {
+			t.Add(p[j], j, 1)
+			for k := 0; k < 4; k++ {
+				t.Add(rng.Intn(n), j, 1)
+			}
+		}
+		a := t.ToCSC()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := MaximumTransversal(a)
+				if !r.StructurallyNonsingular() {
+					b.Fatal("planted transversal not found")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package transversal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func fromDense(d []float64, n int) *sparse.CSC {
+	return sparse.FromDense(d, n, n, 0)
+}
+
+func TestAlreadyZeroFree(t *testing.T) {
+	a := fromDense([]float64{
+		1, 0, 2,
+		0, 3, 0,
+		4, 0, 5,
+	}, 3)
+	r := MaximumTransversal(a)
+	if !r.StructurallyNonsingular() {
+		t.Fatal("matrix is structurally nonsingular")
+	}
+	if !a.PermuteRows(r.RowPerm).HasZeroFreeDiagonal() {
+		t.Fatal("permuted matrix lacks a zero-free diagonal")
+	}
+}
+
+func TestNeedsPermutation(t *testing.T) {
+	// Antidiagonal: rows must be reversed.
+	a := fromDense([]float64{
+		0, 0, 1,
+		0, 1, 0,
+		1, 0, 0,
+	}, 3)
+	r := MaximumTransversal(a)
+	if !r.StructurallyNonsingular() {
+		t.Fatal("want nonsingular")
+	}
+	if !a.PermuteRows(r.RowPerm).HasZeroFreeDiagonal() {
+		t.Fatal("permuted matrix lacks zero-free diagonal")
+	}
+}
+
+func TestNeedsAugmentingPath(t *testing.T) {
+	// Cheap assignment alone fails here: col0 grabs row0, but col1 only
+	// has row0, forcing an augmenting path that reroutes col0 to row1.
+	a := fromDense([]float64{
+		1, 1, 0,
+		1, 0, 1,
+		0, 0, 1,
+	}, 3)
+	r := MaximumTransversal(a)
+	if !r.StructurallyNonsingular() {
+		t.Fatalf("want perfect matching, matched %d", r.MatchedCols)
+	}
+	if !a.PermuteRows(r.RowPerm).HasZeroFreeDiagonal() {
+		t.Fatal("permuted matrix lacks zero-free diagonal")
+	}
+}
+
+func TestStructurallySingular(t *testing.T) {
+	// Column 2 is empty: max matching has 2 columns.
+	tr := sparse.NewTriplet(3, 3)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 1, 1)
+	tr.Add(2, 0, 1)
+	a := tr.ToCSC()
+	r := MaximumTransversal(a)
+	if r.StructurallyNonsingular() {
+		t.Fatal("matrix with empty column reported nonsingular")
+	}
+	if r.MatchedCols != 2 {
+		t.Fatalf("MatchedCols = %d, want 2", r.MatchedCols)
+	}
+	if err := sparse.CheckPerm(r.RowPerm, 3); err != nil {
+		t.Fatalf("RowPerm invalid even in singular case: %v", err)
+	}
+}
+
+func TestDuplicatedColumnsSingular(t *testing.T) {
+	// Two identical single-entry columns compete for one row.
+	a := fromDense([]float64{
+		1, 1, 0,
+		0, 0, 1,
+		0, 0, 1,
+	}, 3)
+	r := MaximumTransversal(a)
+	if r.MatchedCols != 2 {
+		t.Fatalf("MatchedCols = %d, want 2", r.MatchedCols)
+	}
+}
+
+func TestPermIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(25)
+		tr := sparse.NewTriplet(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.15 {
+					tr.Add(i, j, 1)
+				}
+			}
+		}
+		a := tr.ToCSC()
+		r := MaximumTransversal(a)
+		if err := sparse.CheckPerm(r.RowPerm, n); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// bruteForceMatching computes the maximum bipartite matching size by
+// exhaustive search over column assignments (exponential; tiny n only).
+func bruteForceMatching(a *sparse.CSC) int {
+	n := a.NCols
+	usedRows := make([]bool, n)
+	var rec func(j int) int
+	rec = func(j int) int {
+		if j == n {
+			return 0
+		}
+		// Skip column j.
+		best := rec(j + 1)
+		rows, _ := a.Col(j)
+		for _, r := range rows {
+			if !usedRows[r] {
+				usedRows[r] = true
+				if got := 1 + rec(j+1); got > best {
+					best = got
+				}
+				usedRows[r] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMatchingIsMaximum(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		tr := sparse.NewTriplet(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					tr.Add(i, j, 1)
+				}
+			}
+		}
+		a := tr.ToCSC()
+		got := MaximumTransversal(a).MatchedCols
+		want := bruteForceMatching(a)
+		if got != want {
+			t.Fatalf("trial %d: matched %d, brute force %d\n%v", trial, got, want, a)
+		}
+	}
+}
+
+// Property: for matrices with a planted perfect matching the algorithm
+// always recovers a zero-free diagonal.
+func TestQuickPlantedTransversal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		p := sparse.RandomPerm(n, rng)
+		tr := sparse.NewTriplet(n, n)
+		for j := 0; j < n; j++ {
+			tr.Add(p[j], j, 1) // planted matching
+			for extra := 0; extra < 3; extra++ {
+				if rng.Float64() < 0.5 {
+					tr.Add(rng.Intn(n), rng.Intn(n), 1)
+				}
+			}
+		}
+		a := tr.ToCSC()
+		r := MaximumTransversal(a)
+		return r.StructurallyNonsingular() &&
+			a.PermuteRows(r.RowPerm).HasZeroFreeDiagonal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
