@@ -1,0 +1,28 @@
+#!/bin/sh
+# The full local gate: formatting, vet, build, the project-specific
+# static checker, and the tests with the race detector. CI runs exactly
+# this script.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> lucheck"
+go run ./cmd/lucheck ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "all checks passed"

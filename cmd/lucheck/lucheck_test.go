@@ -1,0 +1,199 @@
+package main
+
+import (
+	"errors"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The module is parsed and type-checked once for all tests; the
+// deliberately-violating fixture rides along under a virtual import
+// path so a single load serves both the clean-repo and the
+// fixture-violation tests.
+const fixturePath = "repro/internal/badpkg"
+
+var load = struct {
+	once sync.Once
+	fset *token.FileSet
+	pkgs []*pkgInfo
+	mod  string
+	err  error
+}{}
+
+func loadOnce(t *testing.T) ([]*pkgInfo, *token.FileSet, string) {
+	t.Helper()
+	load.once.Do(func() {
+		root, modPath, err := moduleRoot("../..")
+		if err != nil {
+			load.err = err
+			return
+		}
+		load.mod = modPath
+		load.fset = token.NewFileSet()
+		fixtureDir, err := filepath.Abs("testdata/src/badpkg")
+		if err != nil {
+			load.err = err
+			return
+		}
+		load.pkgs, load.err = loadModule(load.fset, root, modPath,
+			map[string]string{fixturePath: fixtureDir})
+	})
+	if load.err != nil {
+		t.Fatalf("loading module: %v", load.err)
+	}
+	return load.pkgs, load.fset, load.mod
+}
+
+// TestRepoClean is the acceptance gate: the repository itself must have
+// zero findings.
+func TestRepoClean(t *testing.T) {
+	pkgs, fset, mod := loadOnce(t)
+	var repo []*pkgInfo
+	for _, pi := range pkgs {
+		if pi.path != fixturePath {
+			repo = append(repo, pi)
+		}
+	}
+	if len(repo) < 10 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(repo))
+	}
+	findings := analyzeAll(fset, repo, defaultConfig(mod))
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestFixtureViolations checks that every rule fires on the testdata
+// fixture, that suppression comments are honored, and that legal
+// constructs next to the violations stay silent.
+func TestFixtureViolations(t *testing.T) {
+	pkgs, fset, mod := loadOnce(t)
+	var bad *pkgInfo
+	for _, pi := range pkgs {
+		if pi.path == fixturePath {
+			bad = pi
+		}
+	}
+	if bad == nil {
+		t.Fatal("fixture package not loaded")
+	}
+
+	cfg := defaultConfig(mod)
+	cfg.numeric[fixturePath] = true
+	cfg.workers[fixturePath] = true
+
+	findings := analyzePkg(fset, bad, cfg)
+	got := map[string]int{}
+	for _, f := range findings {
+		got[f.rule]++
+		if !strings.Contains(f.pos.Filename, "badpkg") {
+			t.Errorf("finding outside the fixture: %s", f)
+		}
+	}
+	want := map[string]int{
+		"pattern-mutation": 2,
+		"naked-panic":      1,
+		"float-equality":   1,
+		"lock-discipline":  1,
+	}
+	for rule, n := range want {
+		if got[rule] != n {
+			t.Errorf("rule %s: got %d findings, want %d", rule, got[rule], n)
+		}
+	}
+	for rule, n := range got {
+		if want[rule] == 0 {
+			t.Errorf("unexpected rule %s fired %d time(s)", rule, n)
+		}
+	}
+
+	// The `want` comments in the fixture pin the exact lines.
+	wantLines := map[int]string{}
+	for _, f := range findings {
+		wantLines[f.pos.Line] = f.rule
+	}
+	data := readFixture(t)
+	for i, line := range strings.Split(data, "\n") {
+		lineNo := i + 1
+		if idx := strings.Index(line, "// want "); idx >= 0 {
+			rule := strings.TrimSpace(line[idx+len("// want "):])
+			if wantLines[lineNo] != rule {
+				t.Errorf("line %d: want rule %s, got %q", lineNo, rule, wantLines[lineNo])
+			}
+			delete(wantLines, lineNo)
+		}
+	}
+	for line, rule := range wantLines {
+		t.Errorf("finding %s at line %d has no `// want` marker", rule, line)
+	}
+}
+
+// TestExitNonZeroOnViolations runs the built checker against a
+// throwaway module with a violation and pins the command-line contract:
+// findings on stdout, exit status 1.
+func TestExitNonZeroOnViolations(t *testing.T) {
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "lucheck")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building lucheck: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	pkg := filepath.Join(mod, "internal", "oops")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(mod, "go.mod"): "module fixmod\n\ngo 1.22\n",
+		filepath.Join(pkg, "oops.go"): "package oops\n\n" +
+			"func Boom() { panic(\"no prefix here\") }\n",
+	}
+	for path, content := range files {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("want exit error, got %v\n%s", err, out)
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "naked-panic") {
+		t.Fatalf("output does not name the violated rule:\n%s", out)
+	}
+
+	// Fixing the violation flips the exit status to 0.
+	fixed := "package oops\n\nfunc Boom() { panic(\"oops: now prefixed\") }\n"
+	if err := os.WriteFile(filepath.Join(pkg, "oops.go"), []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(bin, "./...")
+	cmd.Dir = mod
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("clean module: %v\n%s", err, out)
+	}
+}
+
+func readFixture(t *testing.T) string {
+	t.Helper()
+	b, err := filepath.Glob("testdata/src/badpkg/*.go")
+	if err != nil || len(b) != 1 {
+		t.Fatalf("fixture glob: %v (%d files)", err, len(b))
+	}
+	data, err := os.ReadFile(b[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

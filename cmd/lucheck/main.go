@@ -1,0 +1,92 @@
+// Command lucheck is the project-specific static checker for the
+// parallel sparse LU codebase. It parses and type-checks the whole
+// module with the standard library's go/ast and go/types and enforces
+// four invariants the general tools cannot know about:
+//
+//   - pattern-mutation: the CSC/Pattern structure slices (ColPtr,
+//     RowInd) back the *static* symbolic factorization; they may only
+//     be written inside the constructor packages (internal/sparse,
+//     internal/symbolic). Everywhere else the sparsity structure is
+//     read-only; the numeric values (Val) stay writable.
+//   - naked-panic: internal/* library packages must panic with a
+//     "<pkg>: ..."-prefixed message (or return an error) so crashes
+//     name the subsystem whose invariant broke.
+//   - float-equality: ==/!= between two non-constant floats in the
+//     numeric kernels (internal/blas, internal/core, internal/gplu).
+//     Comparisons against constants (singularity tests against zero)
+//     stay legal.
+//   - lock-discipline: goroutine bodies in internal/sched may write
+//     variables shared with the spawner only while a sync lock is held.
+//
+// Findings can be waived with a `//lucheck:allow <rule>` comment on the
+// same line or the line above, which keeps deliberate exceptions
+// greppable.
+//
+// Usage:
+//
+//	go run ./cmd/lucheck ./...
+//
+// The only accepted package argument is ./... (the checker always
+// analyzes the whole module, starting from the enclosing go.mod). Exit
+// status is 0 when the module is clean and 1 when findings remain.
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+func main() {
+	for _, arg := range os.Args[1:] {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "usage: lucheck [./...]  (always checks the whole module)\n")
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := moduleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := loadModule(fset, root, modPath, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := analyzeAll(fset, pkgs, defaultConfig(modPath))
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lucheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	noun := "packages"
+	if len(pkgs) == 1 {
+		noun = "package"
+	}
+	fmt.Printf("lucheck: %d %s clean\n", len(pkgs), noun)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lucheck: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,588 @@
+package main
+
+// The project-specific rules. Each rule is scoped by import path (see
+// config) and reports findings that can be suppressed with a trailing
+// or preceding comment of the form
+//
+//	//lucheck:allow <rule>[,<rule>...] — justification
+//
+// Rules:
+//
+//   - pattern-mutation: the CSC/Pattern structure fields (ColPtr,
+//     RowInd) are the inputs of symbolic analysis; once a matrix leaves
+//     its constructor package, mutating them invalidates the static
+//     symbolic factorization. Writes are allowed only inside the
+//     whitelisted constructor packages. Val (the numeric values) stays
+//     writable — the numeric phase scales and updates it freely.
+//   - naked-panic: library packages (internal/*) must either return
+//     errors or panic with a "<pkg>: ..."-prefixed message so a crash
+//     names the subsystem that detected the broken invariant.
+//   - float-equality: ==/!= between two non-constant floating-point
+//     expressions in the numeric kernels; comparisons against constants
+//     (exact-zero singularity tests, beta == 1 fast paths) are fine.
+//   - lock-discipline: inside goroutines launched by the sched worker
+//     pools, direct writes to variables shared with other goroutines
+//     must happen while a sync.Mutex is held.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// finding is one rule violation.
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.rule, f.msg)
+}
+
+// config scopes the rules to package sets.
+type config struct {
+	modPath string
+	// sparsePath is the package whose storage fields are protected.
+	sparsePath string
+	// constructors may mutate ColPtr/RowInd/Val (they build the
+	// structures in the first place).
+	constructors map[string]bool
+	// numeric packages get the float-equality rule.
+	numeric map[string]bool
+	// workers packages get the lock-discipline rule.
+	workers map[string]bool
+}
+
+// defaultConfig is the rule scoping for this repository.
+func defaultConfig(modPath string) *config {
+	p := func(s string) string { return modPath + "/" + s }
+	return &config{
+		modPath:    modPath,
+		sparsePath: p("internal/sparse"),
+		constructors: map[string]bool{
+			p("internal/sparse"):   true,
+			p("internal/symbolic"): true,
+		},
+		numeric: map[string]bool{
+			p("internal/blas"): true,
+			p("internal/core"): true,
+			p("internal/gplu"): true,
+		},
+		workers: map[string]bool{
+			p("internal/sched"): true,
+		},
+	}
+}
+
+// analyzeAll runs every rule over every package.
+func analyzeAll(fset *token.FileSet, pkgs []*pkgInfo, cfg *config) []finding {
+	var out []finding
+	for _, pi := range pkgs {
+		out = append(out, analyzePkg(fset, pi, cfg)...)
+	}
+	return out
+}
+
+// analyzePkg runs the applicable rules on one package and filters out
+// suppressed findings.
+func analyzePkg(fset *token.FileSet, pi *pkgInfo, cfg *config) []finding {
+	p := &pass{fset: fset, pi: pi, cfg: cfg}
+	for _, f := range pi.files {
+		p.suppressions(f)
+	}
+	for _, f := range pi.files {
+		if !cfg.constructors[pi.path] {
+			p.patternMutation(f)
+		}
+		if strings.Contains(pi.path, "/internal/") {
+			p.nakedPanic(f)
+		}
+		if cfg.numeric[pi.path] {
+			p.floatEquality(f)
+		}
+		if cfg.workers[pi.path] {
+			p.lockDiscipline(f)
+		}
+	}
+	return p.findings
+}
+
+// pass carries the per-package analysis state.
+type pass struct {
+	fset     *token.FileSet
+	pi       *pkgInfo
+	cfg      *config
+	allowed  map[string]map[int]map[string]bool // file -> line -> rules
+	findings []finding
+}
+
+// suppressions indexes the //lucheck:allow comments of a file.
+func (p *pass) suppressions(f *ast.File) {
+	if p.allowed == nil {
+		p.allowed = map[string]map[int]map[string]bool{}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			idx := strings.Index(text, "lucheck:allow")
+			if idx < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(text[idx+len("lucheck:allow"):])
+			word := rest
+			if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+				word = rest[:sp]
+			}
+			pos := p.fset.Position(c.Pos())
+			byLine := p.allowed[pos.Filename]
+			if byLine == nil {
+				byLine = map[int]map[string]bool{}
+				p.allowed[pos.Filename] = byLine
+			}
+			rules := byLine[pos.Line]
+			if rules == nil {
+				rules = map[string]bool{}
+				byLine[pos.Line] = rules
+			}
+			for _, r := range strings.Split(word, ",") {
+				if r != "" {
+					rules[r] = true
+				}
+			}
+		}
+	}
+}
+
+// report files a finding unless a suppression covers its line (either
+// trailing on the same line or on the line directly above).
+func (p *pass) report(pos token.Pos, rule, format string, args ...any) {
+	position := p.fset.Position(pos)
+	if byLine := p.allowed[position.Filename]; byLine != nil {
+		for _, line := range []int{position.Line, position.Line - 1} {
+			if rules := byLine[line]; rules != nil && (rules[rule] || rules["all"]) {
+				return
+			}
+		}
+	}
+	p.findings = append(p.findings, finding{pos: position, rule: rule, msg: fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------- rules
+
+// patternMutation flags writes to the protected sparse storage fields.
+func (p *pass) patternMutation(f *ast.File) {
+	check := func(lhs ast.Expr) {
+		if field, recvType, ok := p.protectedField(lhs); ok {
+			p.report(lhs.Pos(), "pattern-mutation",
+				"mutation of %s.%s outside a constructor package invalidates the static symbolic factorization", recvType, field)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(st.X)
+		}
+		return true
+	})
+}
+
+// protectedField reports whether e writes (possibly through an index
+// expression) a ColPtr/RowInd/Val field of a type defined in the sparse
+// package, returning the field and receiver type names.
+func (p *pass) protectedField(e ast.Expr) (field, recvType string, ok bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			sel, isSel := e.(*ast.SelectorExpr)
+			if !isSel {
+				return "", "", false
+			}
+			s := p.pi.info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return "", "", false
+			}
+			obj := s.Obj()
+			name := obj.Name()
+			if name != "ColPtr" && name != "RowInd" {
+				return "", "", false
+			}
+			if obj.Pkg() == nil || obj.Pkg().Path() != p.cfg.sparsePath {
+				return "", "", false
+			}
+			recv := s.Recv()
+			if ptr, isPtr := recv.(*types.Pointer); isPtr {
+				recv = ptr.Elem()
+			}
+			tn := recv.String()
+			if named, isNamed := recv.(*types.Named); isNamed {
+				tn = named.Obj().Name()
+			}
+			return name, tn, true
+		}
+	}
+}
+
+// nakedPanic flags panic calls in library packages whose argument does
+// not carry a "<pkg>: "-prefixed message.
+func (p *pass) nakedPanic(f *ast.File) {
+	prefix := p.pi.name + ": "
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" || len(call.Args) != 1 {
+			return true
+		}
+		if obj := p.pi.info.Uses[id]; obj == nil || obj.Parent() != types.Universe {
+			return true // shadowed, not the builtin
+		}
+		if !p.prefixedMessage(call.Args[0], prefix) {
+			p.report(call.Pos(), "naked-panic",
+				"library panic without a %q prefixed message; return an error or name the subsystem", p.pi.name+":")
+		}
+		return true
+	})
+}
+
+// prefixedMessage reports whether arg is a string literal starting with
+// prefix, or a fmt.Sprintf/fmt.Errorf call whose format does.
+func (p *pass) prefixedMessage(arg ast.Expr, prefix string) bool {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if a.Kind != token.STRING {
+			return false
+		}
+		s, err := strconv.Unquote(a.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	case *ast.CallExpr:
+		sel, ok := a.Fun.(*ast.SelectorExpr)
+		if !ok || len(a.Args) == 0 {
+			return false
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "fmt" {
+			return false
+		}
+		if sel.Sel.Name != "Sprintf" && sel.Sel.Name != "Errorf" && sel.Sel.Name != "Sprint" {
+			return false
+		}
+		return p.prefixedMessage(a.Args[0], prefix)
+	}
+	return false
+}
+
+// floatEquality flags ==/!= between two non-constant float expressions.
+func (p *pass) floatEquality(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		tx, okx := p.pi.info.Types[be.X]
+		ty, oky := p.pi.info.Types[be.Y]
+		if !okx || !oky {
+			return true
+		}
+		if !isFloat(tx.Type) || !isFloat(ty.Type) {
+			return true
+		}
+		if tx.Value != nil || ty.Value != nil {
+			return true // comparison against a constant is deliberate
+		}
+		p.report(be.OpPos, "float-equality",
+			"%s between two non-constant floats; compare against a tolerance or a constant", be.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// lockDiscipline checks goroutine bodies: a direct write to a variable
+// declared outside the goroutine must happen while a sync lock is held.
+// The tracking is lexical — Lock/Unlock calls toggle a counter along
+// the statement list, and blocks that end in return/break/continue are
+// analyzed on a copy of the state (the early-unlock-and-return idiom).
+// Mutation through calls (heap.Push, atomic.*) is out of scope: the
+// former is guarded by the same lock in this codebase, the latter is
+// safe by construction.
+func (p *pass) lockDiscipline(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			lc := &lockChecker{pass: p, fnPos: fl.Pos(), fnEnd: fl.End()}
+			lc.block(fl.Body.List)
+		}
+		return true
+	})
+}
+
+type lockChecker struct {
+	pass         *pass
+	fnPos, fnEnd token.Pos
+	locked       int
+}
+
+func (lc *lockChecker) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		lc.stmt(s)
+	}
+}
+
+// terminates reports whether a block always transfers control out
+// (return, break, continue, goto, or panic as the last statement).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (lc *lockChecker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		lc.expr(st.X)
+	case *ast.AssignStmt:
+		if st.Tok != token.DEFINE {
+			for _, lhs := range st.Lhs {
+				lc.checkWrite(lhs)
+			}
+		}
+		for _, rhs := range st.Rhs {
+			lc.expr(rhs)
+		}
+	case *ast.IncDecStmt:
+		lc.checkWrite(st.X)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			lc.stmt(st.Init)
+		}
+		lc.expr(st.Cond)
+		lc.branch(st.Body)
+		if st.Else != nil {
+			if eb, ok := st.Else.(*ast.BlockStmt); ok {
+				lc.branch(eb)
+			} else {
+				lc.stmt(st.Else)
+			}
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			lc.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			lc.expr(st.Cond)
+		}
+		lc.block(st.Body.List)
+		if st.Post != nil {
+			lc.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		if st.Tok == token.ASSIGN {
+			if st.Key != nil {
+				lc.checkWrite(st.Key)
+			}
+			if st.Value != nil {
+				lc.checkWrite(st.Value)
+			}
+		}
+		lc.expr(st.X)
+		lc.block(st.Body.List)
+	case *ast.BlockStmt:
+		lc.block(st.List)
+	case *ast.DeferStmt:
+		lc.expr(st.Call.Fun)
+		for _, a := range st.Call.Args {
+			lc.expr(a)
+		}
+	case *ast.GoStmt:
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			inner := &lockChecker{pass: lc.pass, fnPos: fl.Pos(), fnEnd: fl.End()}
+			inner.block(fl.Body.List)
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			lc.stmt(st.Init)
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				saved := lc.locked
+				lc.block(cc.Body)
+				lc.locked = saved
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				saved := lc.locked
+				lc.block(cc.Body)
+				lc.locked = saved
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				saved := lc.locked
+				lc.block(cc.Body)
+				lc.locked = saved
+			}
+		}
+	case *ast.LabeledStmt:
+		lc.stmt(st.Stmt)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			lc.expr(r)
+		}
+	case *ast.SendStmt:
+		lc.expr(st.Chan)
+		lc.expr(st.Value)
+	}
+}
+
+// branch analyzes a conditional block; if the block always leaves the
+// enclosing flow (early unlock-and-return), its lock-state changes do
+// not apply to the statements after the if.
+func (lc *lockChecker) branch(b *ast.BlockStmt) {
+	if terminates(b) {
+		saved := lc.locked
+		lc.block(b.List)
+		lc.locked = saved
+		return
+	}
+	lc.block(b.List)
+}
+
+func (lc *lockChecker) expr(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		switch lc.lockKind(x) {
+		case "lock":
+			lc.locked++
+			return
+		case "unlock":
+			lc.locked--
+			return
+		}
+		lc.expr(x.Fun)
+		for _, a := range x.Args {
+			lc.expr(a)
+		}
+	case *ast.FuncLit:
+		// A closure (deferred recover handler, callback) establishes its
+		// own locking regime; analyze it independently.
+		inner := &lockChecker{pass: lc.pass, fnPos: x.Pos(), fnEnd: x.End()}
+		inner.block(x.Body.List)
+	case *ast.ParenExpr:
+		lc.expr(x.X)
+	case *ast.UnaryExpr:
+		lc.expr(x.X)
+	case *ast.BinaryExpr:
+		lc.expr(x.X)
+		lc.expr(x.Y)
+	case *ast.IndexExpr:
+		lc.expr(x.X)
+		lc.expr(x.Index)
+	case *ast.SelectorExpr:
+		lc.expr(x.X)
+	case *ast.TypeAssertExpr:
+		lc.expr(x.X)
+	case *ast.StarExpr:
+		lc.expr(x.X)
+	}
+}
+
+// lockKind classifies a call as a sync lock acquisition or release.
+func (lc *lockChecker) lockKind(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	var kind string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return ""
+	}
+	s := lc.pass.pi.info.Selections[sel]
+	if s == nil || s.Obj().Pkg() == nil || s.Obj().Pkg().Path() != "sync" {
+		return ""
+	}
+	return kind
+}
+
+// checkWrite flags an assignment target that resolves to a variable
+// declared outside the goroutine while no lock is held.
+func (lc *lockChecker) checkWrite(e ast.Expr) {
+	base := e
+	for {
+		switch v := base.(type) {
+		case *ast.IndexExpr:
+			lc.expr(v.Index)
+			base = v.X
+		case *ast.ParenExpr:
+			base = v.X
+		case *ast.StarExpr:
+			base = v.X
+		case *ast.SelectorExpr:
+			base = v.X
+		default:
+			id, ok := base.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			obj := lc.pass.pi.info.Uses[id]
+			if obj == nil {
+				return // defined here: local by construction
+			}
+			vr, ok := obj.(*types.Var)
+			if !ok || vr.IsField() {
+				return
+			}
+			if obj.Pos() >= lc.fnPos && obj.Pos() < lc.fnEnd {
+				return // declared inside the goroutine
+			}
+			if lc.locked <= 0 {
+				lc.pass.report(e.Pos(), "lock-discipline",
+					"write to shared variable %q in a worker goroutine without holding a lock", id.Name)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package badpkg deliberately violates every lucheck rule; it is loaded
+// by the lucheck tests under a virtual import path and must never build
+// as part of the module proper (it lives under testdata, which the
+// loader skips).
+package badpkg
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// MutatePattern writes the protected storage fields of a CSC matrix
+// from outside a constructor package: two pattern-mutation findings.
+func MutatePattern(a *sparse.CSC) {
+	a.ColPtr[0] = 7 // want pattern-mutation
+	a.RowInd[1]++   // want pattern-mutation
+}
+
+// MutateAllowed carries a suppression comment and must not be
+// reported; MutateValues writes the numeric values, which the rule
+// deliberately leaves writable.
+func MutateAllowed(a *sparse.CSC) {
+	//lucheck:allow pattern-mutation — test fixture for the waiver path
+	a.ColPtr[1] = 3
+	a.Val[0] = 1
+}
+
+// NakedPanic panics without the package prefix: one naked-panic finding.
+func NakedPanic() {
+	panic("something broke") // want naked-panic
+}
+
+// PrefixedPanic is the sanctioned form and must not be reported.
+func PrefixedPanic() {
+	panic(fmt.Sprintf("badpkg: impossible state %d", 3))
+}
+
+// FloatEq compares two non-constant floats: one float-equality finding.
+// The constant comparison below it is legal.
+func FloatEq(x, y float64) bool {
+	if x == y { // want float-equality
+		return true
+	}
+	return x == 0
+}
+
+// RacyWorker writes a shared variable from a goroutine without the
+// lock: one lock-discipline finding. The locked write is legal.
+func RacyWorker() int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		total++ // want lock-discipline
+	}()
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		total++
+		mu.Unlock()
+	}()
+	wg.Wait()
+	return total
+}

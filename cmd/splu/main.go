@@ -35,6 +35,7 @@ func main() {
 		equil      = flag.Bool("equilibrate", false, "scale rows/columns to unit maxima before factoring")
 		refine     = flag.Int("refine", 0, "iterative refinement steps")
 		diagnose   = flag.Bool("diagnose", false, "report condition estimate, pivot growth and log-determinant")
+		verifyInv  = flag.Bool("verify", false, "machine-check the structural invariants (Theorems 1-4) during analysis")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 	opts.Postorder = *postorder
 	opts.MaxSupernode = *maxSN
 	opts.Equilibrate = *equil
+	opts.Verify = *verifyInv
 	switch *taskGraph {
 	case "eforest":
 		opts.TaskGraph = sparselu.EForestGraph

@@ -58,6 +58,11 @@ type Options struct {
 	// factoring; solves transparently undo the scaling. Useful for
 	// badly scaled systems.
 	Equilibrate bool
+	// Verify runs the debug invariant checks during analysis: postorder
+	// invariance of the symbolic factorization (Theorems 1–3 of the
+	// paper) and the least-dependence property of the task graph
+	// (Theorem 4). Analysis fails loudly if an invariant is violated.
+	Verify bool
 }
 
 // DefaultOptions returns the paper's configuration: minimum degree,
@@ -98,6 +103,7 @@ func (o *Options) toCore() *core.Options {
 			MaxFill: o.AmalgamationFill,
 		},
 		Equilibrate: o.Equilibrate,
+		Verify:      o.Verify,
 	}
 }
 

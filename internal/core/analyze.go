@@ -10,6 +10,7 @@ import (
 	"repro/internal/symbolic"
 	"repro/internal/taskgraph"
 	"repro/internal/transversal"
+	"repro/internal/verify"
 )
 
 // Symbolic is the reusable output of the analysis pipeline. It depends
@@ -96,6 +97,11 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 	// symbolic result instead of refactoring).
 	symPerm := fill
 	if o.Postorder {
+		if o.Verify {
+			if err := verify.VerifyPostorderInvariance(a2, sym, forest); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
 		po := etree.PostorderSymbolic(sym, forest)
 		sym = po.Sym
 		forest = po.Forest
@@ -123,6 +129,17 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 	cp, total, err := graph.CriticalPath(costs.TaskFlops)
 	if err != nil {
 		return nil, fmt.Errorf("core: task graph: %w", err)
+	}
+
+	if o.Verify {
+		if err := verify.VerifyDAG(graph); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if o.TaskGraph == taskgraph.EForest {
+			if err := verify.VerifyLeastDependences(graph, blockForest); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
 	}
 
 	s := &Symbolic{

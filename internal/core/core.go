@@ -40,6 +40,12 @@ type Options struct {
 	// factoring (LAPACK dgeequ style); improves pivots on badly scaled
 	// systems. Solves transparently undo the scaling.
 	Equilibrate bool
+	// Verify enables the debug invariant checks of internal/verify
+	// during analysis: postorder invariance of the symbolic
+	// factorization (Theorems 1–3), task-graph well-formedness, and —
+	// for the eforest variant — the least-dependence property
+	// (Theorem 4). Costs roughly one extra symbolic factorization.
+	Verify bool
 }
 
 // DefaultOptions returns the configuration used for the paper's headline

@@ -1,0 +1,66 @@
+// External test wiring the machine-checked invariants of
+// internal/verify into the eforest package: every postordering this
+// package produces must satisfy Theorems 1–3 (fill-invariant symmetric
+// relabeling) and the relabeled forest must actually be postordered.
+package etree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/etree"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/verify"
+)
+
+func randomZeroFreeDiag(n int, density float64, rng *rand.Rand) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		t.Add(i, i, 1+rng.Float64())
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				t.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+func TestPostorderInvarianceRandom(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1000} {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomZeroFreeDiag(40+rng.Intn(40), 0.08, rng)
+		sym, err := symbolic.Factor(a)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		forest := etree.LUForest(sym)
+		if err := verify.VerifyPostorderInvariance(a, sym, forest); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+
+		po := etree.PostorderSymbolic(sym, forest)
+		if !po.Forest.IsPostOrdered() {
+			t.Errorf("seed %d: PostorderSymbolic forest is not postordered", seed)
+		}
+		if po.Sym.NNZ() != sym.NNZ() {
+			t.Errorf("seed %d: relabeling changed fill %d → %d", seed, sym.NNZ(), po.Sym.NNZ())
+		}
+	}
+}
+
+func TestPostorderInvarianceSmallSuite(t *testing.T) {
+	for _, spec := range matgen.SmallSuite()[:2] {
+		a := spec.Gen()
+		sym, err := symbolic.Factor(a)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		forest := etree.LUForest(sym)
+		if err := verify.VerifyPostorderInvariance(a, sym, forest); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}

@@ -99,7 +99,8 @@ func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id in
 	}
 	wg.Wait()
 	if firstPanic != nil {
-		panic(firstPanic)
+		// Rethrow verbatim: the value carries the worker's original message.
+		panic(firstPanic) //lucheck:allow naked-panic
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ package sched
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/taskgraph"
@@ -38,21 +39,19 @@ func BalancedColumns(colCost []float64, procs int) Assignment {
 	n := len(colCost)
 	a := make(Assignment, n)
 	load := make([]float64, procs)
-	// Process columns in descending cost; stable order for equal costs.
+	// Process columns in descending cost; ties broken by ascending
+	// column index so the assignment is deterministic.
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	for i := 1; i < n; i++ {
-		for k := i; k > 0; k-- {
-			a, b := idx[k-1], idx[k]
-			if colCost[a] < colCost[b] || (colCost[a] == colCost[b] && a > b) {
-				idx[k-1], idx[k] = idx[k], idx[k-1]
-			} else {
-				break
-			}
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		if colCost[a] != colCost[b] {
+			return colCost[a] > colCost[b]
 		}
-	}
+		return a < b
+	})
 	for _, col := range idx {
 		best := 0
 		for p := 1; p < procs; p++ {
@@ -192,7 +191,8 @@ func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, ru
 	}
 	wg.Wait()
 	if firstPanic != nil {
-		panic(firstPanic)
+		// Rethrow verbatim: the value carries the worker's original message.
+		panic(firstPanic) //lucheck:allow naked-panic
 	}
 	return nil
 }

@@ -66,6 +66,77 @@ func TestBalancedColumns(t *testing.T) {
 	}
 }
 
+// TestBalancedColumnsDeterministicTieBreak pins the processing order of
+// the greedy balancer: descending cost, ties broken by ascending column
+// index, and equal processor loads resolved toward the lowest index.
+// The expected assignment is the hand-traced greedy LPT result; any
+// change to the sort's tie-break changes it.
+func TestBalancedColumnsDeterministicTieBreak(t *testing.T) {
+	cost := []float64{1, 0.5, 4, 1, 0.5, 4, 1}
+	// Processing order must be 2, 5, 0, 3, 6, 1, 4.
+	want := Assignment{0, 1, 0, 1, 1, 1, 0}
+	got := BalancedColumns(cost, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BalancedColumns = %v, want %v", got, want)
+		}
+	}
+
+	// Randomized cross-check against a reference insertion sort with the
+	// same comparator: the sort.Slice replacement must order identically
+	// even with many duplicate costs.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		procs := 1 + rng.Intn(5)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = float64(rng.Intn(4)) // few distinct values → many ties
+		}
+		got := BalancedColumns(c, procs)
+		want := referenceBalanced(c, procs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: BalancedColumns = %v, want %v (costs %v, procs %d)",
+					trial, got, want, c, procs)
+			}
+		}
+	}
+}
+
+// referenceBalanced is the original insertion-sort implementation, kept
+// as the behavioral oracle for the sort.Slice version.
+func referenceBalanced(colCost []float64, procs int) Assignment {
+	n := len(colCost)
+	a := make(Assignment, n)
+	load := make([]float64, procs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for k := i; k > 0; k-- {
+			x, y := idx[k-1], idx[k]
+			if colCost[x] < colCost[y] || (colCost[x] == colCost[y] && x > y) {
+				idx[k-1], idx[k] = idx[k], idx[k-1]
+			} else {
+				break
+			}
+		}
+	}
+	for _, col := range idx {
+		best := 0
+		for p := 1; p < procs; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		a[col] = best
+		load[best] += colCost[col]
+	}
+	return a
+}
+
 func TestTaskOwners(t *testing.T) {
 	g, _ := buildGraph(t, 12, 0.15, 91, taskgraph.EForest)
 	owner := BlockCyclic(g.N, 3)

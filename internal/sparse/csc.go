@@ -172,7 +172,7 @@ func (a *CSC) MulVecT(x, y []float64) {
 // PermuteRows returns P·A where row i of A becomes row p[i] of the result.
 func (a *CSC) PermuteRows(p Perm) *CSC {
 	if err := CheckPerm(p, a.NRows); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("sparse: PermuteRows: %v", err))
 	}
 	b := a.Clone()
 	for k, i := range a.RowInd {
@@ -186,7 +186,7 @@ func (a *CSC) PermuteRows(p Perm) *CSC {
 // result.
 func (a *CSC) PermuteCols(q Perm) *CSC {
 	if err := CheckPerm(q, a.NCols); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("sparse: PermuteCols: %v", err))
 	}
 	b := NewCSC(a.NRows, a.NCols, a.NNZ())
 	// Column q[j] of b has the length of column j of a.

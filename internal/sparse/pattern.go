@@ -1,6 +1,9 @@
 package sparse
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Pattern is the sparsity structure of a matrix: CSC without values.
 type Pattern struct {
@@ -82,7 +85,7 @@ func (p *Pattern) PermuteSym(perm Perm) *Pattern {
 	}
 	n := p.NCols
 	if err := CheckPerm(perm, n); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("sparse: Pattern.PermuteSym: %v", err))
 	}
 	out := &Pattern{NRows: n, NCols: n, ColPtr: make([]int, n+1), RowInd: make([]int, p.NNZ())}
 	for j := 0; j < n; j++ {

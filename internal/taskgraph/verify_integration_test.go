@@ -1,0 +1,73 @@
+// External test wiring the machine-checked invariants of
+// internal/verify into the task graph package: every graph New()
+// produces must be a DAG with consistent task/edge bookkeeping, and the
+// eforest variant must carry exactly the least necessary dependences
+// of Theorem 4 — no edge joins tasks of independent subtrees, and every
+// U(i,k)→U(i',k) chain steps through parent(i) = i'.
+package taskgraph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/etree"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/taskgraph"
+	"repro/internal/verify"
+)
+
+func randomZeroFreeDiag(n int, density float64, rng *rand.Rand) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		t.Add(i, i, 1+rng.Float64())
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				t.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+func analysis(t *testing.T, a *sparse.CSC) (*symbolic.Result, *etree.Forest) {
+	t.Helper()
+	sym, err := symbolic.Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sym, etree.LUForest(sym)
+}
+
+func TestGraphInvariantsRandom(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99, 512} {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomZeroFreeDiag(30+rng.Intn(50), 0.1, rng)
+		sym, forest := analysis(t, a)
+		for _, v := range []taskgraph.Variant{taskgraph.EForest, taskgraph.SStar} {
+			g := taskgraph.New(sym, forest, v)
+			if err := verify.VerifyDAG(g); err != nil {
+				t.Errorf("seed %d %v: %v", seed, v, err)
+			}
+		}
+		g := taskgraph.New(sym, forest, taskgraph.EForest)
+		if err := verify.VerifyLeastDependences(g, forest); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGraphInvariantsSmallSuite(t *testing.T) {
+	for _, spec := range matgen.SmallSuite()[:2] {
+		a := spec.Gen()
+		sym, forest := analysis(t, a)
+		g := taskgraph.New(sym, forest, taskgraph.EForest)
+		if err := verify.VerifyDAG(g); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if err := verify.VerifyLeastDependences(g, forest); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package verify machine-checks the structural theorems the paper's
+// parallel factorization rests on. The checks are pure functions over
+// the analysis structures, cheap enough to wire into test suites and —
+// behind the core.Options.Verify debug flag — into the analysis
+// pipeline itself:
+//
+//   - VerifyDAG: the task dependence graph is a well-formed acyclic
+//     graph whose task table, edge lists and id indices agree.
+//   - VerifyLeastDependences: the eforest-guided graph contains exactly
+//     the least necessary dependences of Theorem 4 — every
+//     U(k,j) → U(k',j) edge satisfies k' = parent(k), every
+//     U(k,j) → F(j) edge satisfies parent(k) = j, no edge joins
+//     independent subtrees, and no required edge is missing.
+//   - VerifyPostorderInvariance: postordering the LU eforest leaves the
+//     static symbolic factorization invariant up to relabeling
+//     (Theorems 1–3): refactoring the symmetrically permuted matrix
+//     yields exactly the relabeled L̄ and Ū patterns.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/etree"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/taskgraph"
+)
+
+// VerifyDAG checks that g is a structurally consistent acyclic task
+// graph: the id indices (FactorID, UpdateID) agree with the task table,
+// every edge stays in range without self-loops or duplicates, NumEdges
+// matches the adjacency, and a topological order exists.
+func VerifyDAG(g *taskgraph.Graph) error {
+	nt := g.NumTasks()
+	if len(g.Succ) != nt {
+		return fmt.Errorf("verify: %d tasks but %d adjacency lists", nt, len(g.Succ))
+	}
+	if len(g.FactorID) != g.N {
+		return fmt.Errorf("verify: %d block columns but %d factor ids", g.N, len(g.FactorID))
+	}
+	for k, id := range g.FactorID {
+		if id < 0 || id >= nt {
+			return fmt.Errorf("verify: FactorID[%d] = %d out of range", k, id)
+		}
+		if t := g.Tasks[id]; t.Kind != taskgraph.Factor || t.K != k {
+			return fmt.Errorf("verify: FactorID[%d] points at task %v", k, t)
+		}
+	}
+	for k, dests := range g.UpdateID {
+		for j, id := range dests {
+			if id < 0 || id >= nt {
+				return fmt.Errorf("verify: UpdateID[%d][%d] = %d out of range", k, j, id)
+			}
+			if t := g.Tasks[id]; t.Kind != taskgraph.Update || t.K != k || t.J != j {
+				return fmt.Errorf("verify: UpdateID[%d][%d] points at task %v", k, j, t)
+			}
+		}
+	}
+	edges := 0
+	seen := make(map[[2]int]bool)
+	for id, succ := range g.Succ {
+		for _, s := range succ {
+			if int(s) < 0 || int(s) >= nt {
+				return fmt.Errorf("verify: edge %v → %d out of range", g.Tasks[id], s)
+			}
+			if int(s) == id {
+				return fmt.Errorf("verify: self-loop on task %v", g.Tasks[id])
+			}
+			key := [2]int{id, int(s)}
+			if seen[key] {
+				return fmt.Errorf("verify: duplicate edge %v → %v", g.Tasks[id], g.Tasks[s])
+			}
+			seen[key] = true
+			edges++
+		}
+	}
+	if edges != g.NumEdges {
+		return fmt.Errorf("verify: NumEdges = %d but adjacency holds %d edges", g.NumEdges, edges)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	return nil
+}
+
+// VerifyLeastDependences checks Theorem 4 on an eforest-guided graph
+// against the LU eforest f of the block structure the graph was built
+// on: every edge is one of the three least-necessary forms
+// (F(k) → U(k,j); U(k,j) → U(parent(k),j); U(k,j) → F(j) when
+// parent(k) = j), no edge joins tasks sourced in independent subtrees,
+// and every edge those forms require is actually present. A fallback
+// edge — permitted by the builder when the block structure is not a
+// static fixed point — is reported as a violation, because on the
+// pipeline's structures Theorem 1 guarantees it never occurs.
+func VerifyLeastDependences(g *taskgraph.Graph, f *etree.Forest) error {
+	if g.Variant != taskgraph.EForest {
+		return fmt.Errorf("verify: graph variant is %v, not eforest", g.Variant)
+	}
+	if f.Len() != g.N {
+		return fmt.Errorf("verify: forest over %d nodes, graph over %d block columns", f.Len(), g.N)
+	}
+	has := make(map[[2]int]bool, g.NumEdges)
+	for id, succ := range g.Succ {
+		for _, s := range succ {
+			has[[2]int{id, int(s)}] = true
+		}
+	}
+
+	// Direction 1: every present edge has a least-necessary form.
+	for id, succ := range g.Succ {
+		from := g.Tasks[id]
+		for _, s := range succ {
+			to := g.Tasks[s]
+			switch {
+			case from.Kind == taskgraph.Factor:
+				if to.Kind != taskgraph.Update || to.K != from.K {
+					return fmt.Errorf("verify: illegal edge %v → %v", from, to)
+				}
+			case to.Kind == taskgraph.Update:
+				if to.J != from.J {
+					return fmt.Errorf("verify: edge %v → %v crosses destination columns", from, to)
+				}
+				if f.Parent[from.K] != to.K {
+					return fmt.Errorf("verify: edge %v → %v but parent(%d) = %d (Theorem 4)",
+						from, to, from.K, f.Parent[from.K])
+				}
+				if !f.IsAncestor(to.K, from.K) {
+					return fmt.Errorf("verify: edge %v → %v joins independent subtrees", from, to)
+				}
+			default: // Update → Factor
+				if to.K != from.J {
+					return fmt.Errorf("verify: edge %v → %v targets a foreign factor", from, to)
+				}
+				if f.Parent[from.K] != from.J {
+					return fmt.Errorf("verify: edge %v → %v but parent(%d) = %d; conservative fallback edge present (structure not a static fixed point?)",
+						from, to, from.K, f.Parent[from.K])
+				}
+			}
+		}
+	}
+
+	// Direction 2: every edge Theorem 4 requires is present.
+	for k := 0; k < g.N; k++ {
+		fid := g.FactorID[k]
+		p := f.Parent[k]
+		for j, id := range g.UpdateID[k] {
+			if !has[[2]int{fid, id}] {
+				return fmt.Errorf("verify: missing edge F(%d) → U(%d,%d)", k, k, j)
+			}
+			switch {
+			case p == etree.None:
+				// Root: the update blocks nothing downstream.
+			case p == j:
+				if !has[[2]int{id, g.FactorID[j]}] {
+					return fmt.Errorf("verify: missing edge U(%d,%d) → F(%d)", k, j, j)
+				}
+			case p < j:
+				nid, ok := g.UpdateID[p][j]
+				if !ok {
+					return fmt.Errorf("verify: U(%d,%d) exists but U(%d,%d) does not (Theorem 1 violated at block level)", k, j, p, j)
+				}
+				if !has[[2]int{id, nid}] {
+					return fmt.Errorf("verify: missing edge U(%d,%d) → U(%d,%d)", k, j, p, j)
+				}
+			default: // p > j
+				return fmt.Errorf("verify: parent(%d) = %d exceeds destination %d though ū(%d,%d) ≠ 0", k, p, j, k, j)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyPostorderInvariance checks Theorems 1–3: let perm be the
+// postorder of the LU eforest f of sym, where sym is the static
+// symbolic factorization of a. Then the static symbolic factorization
+// of the symmetrically permuted matrix P·A·Pᵀ must equal the relabeled
+// sym — identical L̄ and Ū patterns, hence identical fill — and the
+// relabeled forest must be post-ordered. The check refactors the
+// permuted matrix from scratch, so it costs one extra symbolic
+// factorization.
+func VerifyPostorderInvariance(a *sparse.CSC, sym *symbolic.Result, f *etree.Forest) error {
+	if a.NCols != sym.N || f.Len() != sym.N {
+		return fmt.Errorf("verify: matrix order %d, symbolic order %d, forest size %d", a.NCols, sym.N, f.Len())
+	}
+	perm := f.PostOrder()
+	relabeled := etree.PermuteSymbolic(sym, perm)
+	if !f.Relabel(perm).IsPostOrdered() {
+		return fmt.Errorf("verify: relabeled eforest is not post-ordered")
+	}
+	refactored, err := symbolic.Factor(a.PermuteSym(perm))
+	if err != nil {
+		return fmt.Errorf("verify: refactoring the postordered matrix: %w", err)
+	}
+	if err := patternsEqual("L̄", relabeled.L, refactored.L); err != nil {
+		return err
+	}
+	if err := patternsEqual("Ū", relabeled.U, refactored.U); err != nil {
+		return err
+	}
+	if relabeled.NNZ() != refactored.NNZ() {
+		return fmt.Errorf("verify: fill changed under postordering: %d vs %d", relabeled.NNZ(), refactored.NNZ())
+	}
+	return nil
+}
+
+// patternsEqual compares two sparsity patterns entry for entry and
+// reports the first differing column.
+func patternsEqual(name string, want, got *sparse.Pattern) error {
+	if want.NRows != got.NRows || want.NCols != got.NCols {
+		return fmt.Errorf("verify: %s dimensions differ: %d×%d vs %d×%d",
+			name, want.NRows, want.NCols, got.NRows, got.NCols)
+	}
+	for j := 0; j < want.NCols; j++ {
+		wc, gc := want.Col(j), got.Col(j)
+		if len(wc) != len(gc) {
+			return fmt.Errorf("verify: %s column %d has %d entries, expected %d (Theorem 3 violated)",
+				name, j, len(gc), len(wc))
+		}
+		for t := range wc {
+			if wc[t] != gc[t] {
+				return fmt.Errorf("verify: %s column %d differs at position %d: row %d vs %d",
+					name, j, t, gc[t], wc[t])
+			}
+		}
+	}
+	return nil
+}

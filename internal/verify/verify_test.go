@@ -1,0 +1,194 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/etree"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/taskgraph"
+)
+
+func randomMatrix(n int, density float64, seed int64) *sparse.CSC {
+	rng := rand.New(rand.NewSource(seed))
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		t.Add(i, i, 1+rng.Float64())
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				t.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+func analysis(t *testing.T, n int, density float64, seed int64, v taskgraph.Variant) (*sparse.CSC, *symbolic.Result, *etree.Forest, *taskgraph.Graph) {
+	t.Helper()
+	a := randomMatrix(n, density, seed)
+	sym, err := symbolic.Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := etree.LUForest(sym)
+	return a, sym, f, taskgraph.New(sym, f, v)
+}
+
+func TestVerifyDAGAccepts(t *testing.T) {
+	for _, v := range []taskgraph.Variant{taskgraph.SStar, taskgraph.EForest} {
+		for seed := int64(1); seed <= 4; seed++ {
+			_, _, _, g := analysis(t, 30, 0.1, seed, v)
+			if err := VerifyDAG(g); err != nil {
+				t.Errorf("%v seed %d: %v", v, seed, err)
+			}
+		}
+	}
+}
+
+func TestVerifyDAGRejectsCorruption(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func(g *taskgraph.Graph)
+		want string
+	}{
+		{"self-loop", func(g *taskgraph.Graph) {
+			g.Succ[0] = append(g.Succ[0], 0)
+			g.NumEdges++
+		}, "self-loop"},
+		{"out-of-range edge", func(g *taskgraph.Graph) {
+			g.Succ[0] = append(g.Succ[0], int32(g.NumTasks()))
+			g.NumEdges++
+		}, "out of range"},
+		{"edge count drift", func(g *taskgraph.Graph) {
+			g.NumEdges++
+		}, "NumEdges"},
+		{"duplicate edge", func(g *taskgraph.Graph) {
+			for id := range g.Succ {
+				if len(g.Succ[id]) > 0 {
+					g.Succ[id] = append(g.Succ[id], g.Succ[id][0])
+					g.NumEdges++
+					return
+				}
+			}
+		}, "duplicate"},
+		{"cycle", func(g *taskgraph.Graph) {
+			// Close a cycle along the first existing edge.
+			for id := range g.Succ {
+				if len(g.Succ[id]) > 0 {
+					s := g.Succ[id][0]
+					g.Succ[s] = append(g.Succ[s], int32(id))
+					g.NumEdges++
+					return
+				}
+			}
+		}, "cycle"},
+		{"stale factor index", func(g *taskgraph.Graph) {
+			g.FactorID[0], g.FactorID[1] = g.FactorID[1], g.FactorID[0]
+		}, "FactorID"},
+	}
+	for _, c := range corruptions {
+		_, _, _, g := analysis(t, 25, 0.12, 7, taskgraph.EForest)
+		c.mut(g)
+		err := VerifyDAG(g)
+		if err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestVerifyLeastDependencesAccepts(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		_, _, f, g := analysis(t, 35, 0.08, seed, taskgraph.EForest)
+		if err := VerifyLeastDependences(g, f); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestVerifyLeastDependencesRejectsSStar(t *testing.T) {
+	_, _, f, g := analysis(t, 30, 0.1, 3, taskgraph.SStar)
+	if err := VerifyLeastDependences(g, f); err == nil {
+		t.Fatal("accepted an S* graph as eforest-guided")
+	}
+}
+
+func TestVerifyLeastDependencesRejectsExtraAndMissingEdges(t *testing.T) {
+	// An extra edge between updates whose sources are not parent-linked
+	// must be caught (a dependence Theorem 4 proves unnecessary).
+	_, _, f, g := analysis(t, 35, 0.08, 11, taskgraph.EForest)
+	found := false
+outer:
+	for k := 0; k < g.N && !found; k++ {
+		for j, id := range g.UpdateID[k] {
+			for k2, dests := range g.UpdateID {
+				if k2 == k || f.Parent[k] == k2 {
+					continue
+				}
+				if id2, ok := dests[j]; ok && id2 != id {
+					g.Succ[id] = append(g.Succ[id], int32(id2))
+					g.NumEdges++
+					found = true
+					continue outer
+				}
+			}
+		}
+	}
+	if !found {
+		t.Skip("no suitable update pair in this instance")
+	}
+	if err := VerifyLeastDependences(g, f); err == nil {
+		t.Error("extra non-eforest edge not detected")
+	}
+
+	// A missing required edge must be caught too.
+	_, _, f2, g2 := analysis(t, 35, 0.08, 11, taskgraph.EForest)
+	for id := range g2.Succ {
+		if g2.Tasks[id].Kind == taskgraph.Update && len(g2.Succ[id]) > 0 {
+			g2.Succ[id] = g2.Succ[id][:len(g2.Succ[id])-1]
+			g2.NumEdges--
+			break
+		}
+	}
+	if err := VerifyLeastDependences(g2, f2); err == nil {
+		t.Error("missing required edge not detected")
+	}
+}
+
+func TestVerifyPostorderInvarianceAccepts(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a, sym, f, _ := analysis(t, 40, 0.07, seed, taskgraph.EForest)
+		if err := VerifyPostorderInvariance(a, sym, f); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestVerifyPostorderInvarianceRejectsForeignMatrix(t *testing.T) {
+	// The symbolic factorization of one matrix relabeled by its forest's
+	// postorder cannot match the factorization of a different matrix.
+	a1, sym, f, _ := analysis(t, 40, 0.07, 21, taskgraph.EForest)
+	a2 := randomMatrix(40, 0.12, 99)
+	if sparse.PatternOf(a1).NNZ() == sparse.PatternOf(a2).NNZ() {
+		t.Fatal("test matrices accidentally identical")
+	}
+	if err := VerifyPostorderInvariance(a2, sym, f); err == nil {
+		t.Error("mismatched matrix not detected")
+	}
+}
+
+func TestVerifyDimensionMismatches(t *testing.T) {
+	a, sym, f, g := analysis(t, 20, 0.12, 5, taskgraph.EForest)
+	small := randomMatrix(10, 0.2, 6)
+	if err := VerifyPostorderInvariance(small, sym, f); err == nil {
+		t.Error("order mismatch not detected")
+	}
+	wrongForest := etree.NewForest(make([]int, 5))
+	if err := VerifyLeastDependences(g, wrongForest); err == nil {
+		t.Error("forest size mismatch not detected")
+	}
+	_ = a
+}
