@@ -1,28 +1,70 @@
 #!/bin/sh
-# The full local gate: formatting, vet, build, the project-specific
-# static checker, and the tests with the race detector. CI runs exactly
-# this script.
+# The local/CI gate, split into stages so CI can attribute failures:
+#
+#   ./check.sh lint    # gofmt, vet, build, lucheck
+#   ./check.sh test    # race-enabled test suite
+#   ./check.sh bench   # paperbench small suite + regression compare
+#   ./check.sh [all]   # everything above (the default)
+#
+# The bench stage writes bench-out/BENCH_small.json and a Chrome trace,
+# then fails if suite wall time regressed more than SPARSELU_BENCH_TOL
+# (default 0.25) against the committed BENCH_small.json baseline.
+# SPARSELU_BENCH_REPS (default 3) controls repetitions per
+# configuration.
 set -eu
 cd "$(dirname "$0")"
 
-echo "==> gofmt"
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:" >&2
-	echo "$unformatted" >&2
-	exit 1
-fi
+stage="${1:-all}"
 
-echo "==> go vet"
-go vet ./...
+lint() {
+	echo "==> gofmt"
+	unformatted=$(gofmt -l .)
+	if [ -n "$unformatted" ]; then
+		echo "gofmt needed on:" >&2
+		echo "$unformatted" >&2
+		exit 1
+	fi
 
-echo "==> go build"
-go build ./...
+	echo "==> go vet"
+	go vet ./...
 
-echo "==> lucheck"
-go run ./cmd/lucheck ./...
+	echo "==> go build"
+	go build ./...
 
-echo "==> go test -race"
-go test -race ./...
+	echo "==> lucheck"
+	go run ./cmd/lucheck ./...
+}
 
-echo "all checks passed"
+test_stage() {
+	echo "==> go test -race"
+	go test -race ./...
+}
+
+bench() {
+	echo "==> paperbench (small suite, regression gate)"
+	mkdir -p bench-out
+	go run ./cmd/paperbench \
+		-bench bench-out/BENCH_small.json \
+		-benchtrace bench-out/trace_small.json \
+		-small \
+		-reps "${SPARSELU_BENCH_REPS:-3}" \
+		-compare BENCH_small.json \
+		-tolerance "${SPARSELU_BENCH_TOL:-0.25}"
+}
+
+case "$stage" in
+lint) lint ;;
+test) test_stage ;;
+bench) bench ;;
+all)
+	lint
+	test_stage
+	bench
+	;;
+*)
+	echo "check.sh: unknown stage '$stage' (want lint, test, bench or all)" >&2
+	exit 2
+	;;
+esac
+
+echo "checks passed ($stage)"

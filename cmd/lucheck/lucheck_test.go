@@ -100,6 +100,7 @@ func TestFixtureViolations(t *testing.T) {
 		"naked-panic":      1,
 		"float-equality":   1,
 		"lock-discipline":  1,
+		"worker-timing":    1,
 	}
 	for rule, n := range want {
 		if got[rule] != n {

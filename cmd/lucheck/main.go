@@ -1,7 +1,7 @@
 // Command lucheck is the project-specific static checker for the
 // parallel sparse LU codebase. It parses and type-checks the whole
 // module with the standard library's go/ast and go/types and enforces
-// four invariants the general tools cannot know about:
+// five invariants the general tools cannot know about:
 //
 //   - pattern-mutation: the CSC/Pattern structure slices (ColPtr,
 //     RowInd) back the *static* symbolic factorization; they may only
@@ -17,6 +17,10 @@
 //     stay legal.
 //   - lock-discipline: goroutine bodies in internal/sched may write
 //     variables shared with the spawner only while a sync lock is held.
+//   - worker-timing: goroutine bodies in internal/sched may not read
+//     the wall clock (time.Now / time.Since) directly; task timing goes
+//     through the internal/trace recorder so traces are the single
+//     source of truth and untraced runs pay no timing cost.
 //
 // Findings can be waived with a `//lucheck:allow <rule>` comment on the
 // same line or the line above, which keeps deliberate exceptions

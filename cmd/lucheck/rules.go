@@ -23,6 +23,10 @@ package main
 //   - lock-discipline: inside goroutines launched by the sched worker
 //     pools, direct writes to variables shared with other goroutines
 //     must happen while a sync.Mutex is held.
+//   - worker-timing: inside goroutines of the worker packages, the wall
+//     clock (time.Now / time.Since) must not be read directly; task
+//     timing goes through the internal/trace recorder so traces stay
+//     the single source of truth and untraced runs pay no timing cost.
 
 import (
 	"fmt"
@@ -107,6 +111,7 @@ func analyzePkg(fset *token.FileSet, pi *pkgInfo, cfg *config) []finding {
 		}
 		if cfg.workers[pi.path] {
 			p.lockDiscipline(f)
+			p.workerTiming(f)
 		}
 	}
 	return p.findings
@@ -337,6 +342,46 @@ func (p *pass) lockDiscipline(f *ast.File) {
 			lc := &lockChecker{pass: p, fnPos: fl.Pos(), fnEnd: fl.End()}
 			lc.block(fl.Body.List)
 		}
+		return true
+	})
+}
+
+// workerTiming flags direct time.Now / time.Since calls inside
+// goroutines of the worker packages. All timing of the numeric phase is
+// centralized in the internal/trace recorder (whose clock reads are the
+// one sanctioned wall-clock access), so a stray time.Now in a worker
+// loop is either duplicated instrumentation or a hidden per-task cost
+// that the nil-recorder overhead guarantee does not account for.
+func (p *pass) workerTiming(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+				return true
+			}
+			obj := p.pi.info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			p.report(call.Pos(), "worker-timing",
+				"direct time.%s in a worker goroutine; timing belongs to the internal/trace recorder", sel.Sel.Name)
+			return true
+		})
 		return true
 	})
 }

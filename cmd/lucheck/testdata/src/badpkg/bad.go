@@ -7,6 +7,7 @@ package badpkg
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/sparse"
 )
@@ -65,4 +66,18 @@ func RacyWorker() int {
 	}()
 	wg.Wait()
 	return total
+}
+
+// TimedWorker reads the wall clock inside a worker goroutine: one
+// worker-timing finding. The reads outside the goroutine are legal.
+func TimedWorker() time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = time.Now() // want worker-timing
+	}()
+	wg.Wait()
+	return time.Since(start)
 }

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/trace"
+)
+
+// The bench mode measures the real numeric factorization across worker
+// counts and emits a machine-readable BENCH_<suite>.json so the perf
+// trajectory of the repo is tracked in CI. Every configuration is run
+// -reps times and the fastest repetition is reported (min-of-N is the
+// standard way to suppress scheduler noise on shared CI runners); the
+// trace-derived metrics (realized critical path, per-worker
+// utilization) come from that fastest repetition.
+
+// benchEntry is the result of one (matrix, workers) configuration.
+type benchEntry struct {
+	Matrix  string `json:"matrix"`
+	Workers int    `json:"workers"`
+	Tasks   int    `json:"tasks"`
+	// WallSeconds is the fastest full numeric factorization.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CriticalPathSeconds is the realized critical path of the traced
+	// run: the longest dependence-linked chain of task times.
+	CriticalPathSeconds float64 `json:"critical_path_seconds"`
+	// Parallelism is total busy time over trace makespan.
+	Parallelism float64 `json:"parallelism"`
+	// Utilization is each worker's busy fraction of the trace window.
+	Utilization []float64 `json:"utilization"`
+}
+
+// benchReport is the BENCH_<suite>.json document.
+type benchReport struct {
+	Suite   string       `json:"suite"`
+	Reps    int          `json:"reps"`
+	Procs   []int        `json:"procs"`
+	Entries []benchEntry `json:"entries"`
+	// TotalWallSeconds sums wall time over the suite per worker count
+	// (keyed by the decimal worker count). The regression comparator
+	// works on these totals so single-matrix jitter cannot fail CI.
+	TotalWallSeconds map[string]float64 `json:"total_wall_seconds"`
+}
+
+// runBench executes the suite and writes the report to outPath. When
+// tracePath is non-empty, the Chrome trace of the first matrix at the
+// highest worker count is written there as the CI artifact.
+func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath, tracePath string) (*benchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	report := &benchReport{
+		Suite:            suite,
+		Reps:             reps,
+		Procs:            procs,
+		TotalWallSeconds: make(map[string]float64),
+	}
+	maxProcs := procs[len(procs)-1]
+	var artifactEvents []trace.Event
+	var artifactWorkers int
+	for si, spec := range specs {
+		a := spec.Gen()
+		opts := core.DefaultOptions()
+		s, err := core.Analyze(a, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		for _, p := range procs {
+			rec := trace.New(p)
+			run := *s // Opts is a value, so this copy is private
+			run.Opts.Workers = p
+			run.Opts.Trace = rec
+
+			best := -1.0
+			var bestEvents []trace.Event
+			for rep := 0; rep < reps; rep++ {
+				rec.Reset()
+				start := time.Now()
+				if _, err := core.FactorizeGlobal(&run, a); err != nil {
+					return nil, fmt.Errorf("%s P=%d: %w", spec.Name, p, err)
+				}
+				wall := time.Since(start).Seconds()
+				if best < 0 || wall < best {
+					best = wall
+					bestEvents = rec.Events()
+				}
+			}
+
+			sum := trace.Summarize(bestEvents, p)
+			cp, _, err := trace.RealizedCriticalPath(bestEvents, run.Graph.Succ)
+			if err != nil {
+				return nil, fmt.Errorf("%s P=%d: %w", spec.Name, p, err)
+			}
+			util := make([]float64, p)
+			for w, ws := range sum.WorkerStats {
+				util[w] = ws.Utilization
+			}
+			report.Entries = append(report.Entries, benchEntry{
+				Matrix:              spec.Name,
+				Workers:             p,
+				Tasks:               run.Graph.NumTasks(),
+				WallSeconds:         best,
+				CriticalPathSeconds: float64(cp) / 1e9,
+				Parallelism:         sum.Parallelism,
+				Utilization:         util,
+			})
+			report.TotalWallSeconds[fmt.Sprint(p)] += best
+			if si == 0 && p == maxProcs {
+				artifactEvents = bestEvents
+				artifactWorkers = p
+			}
+		}
+	}
+
+	if err := writeJSON(outPath, report); err != nil {
+		return nil, err
+	}
+	if tracePath != "" && artifactEvents != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, artifactEvents, artifactWorkers, nil); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// compareBench fails (returns an error) when any per-worker-count suite
+// wall-time total of cur regresses more than tol (fractional) against
+// the baseline at path. Worker counts absent from the baseline are
+// reported as new but do not fail the gate.
+func compareBench(cur *benchReport, path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var failures []string
+	for _, p := range cur.Procs {
+		key := fmt.Sprint(p)
+		now := cur.TotalWallSeconds[key]
+		was, ok := base.TotalWallSeconds[key]
+		if !ok {
+			fmt.Printf("compare: P=%s has no baseline (new configuration)\n", key)
+			continue
+		}
+		ratio := now / was
+		status := "ok"
+		if now > was*(1+tol) {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("P=%s: %.4fs vs baseline %.4fs (%.0f%%)", key, now, was, 100*(ratio-1)))
+		}
+		fmt.Printf("compare: P=%s total %.4fs, baseline %.4fs (%+.0f%%) %s\n", key, now, was, 100*(ratio-1), status)
+	}
+	if failures != nil {
+		return fmt.Errorf("wall time regressed beyond %.0f%% tolerance: %v", 100*tol, failures)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro"
 	"repro/internal/matgen"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		refine     = flag.Int("refine", 0, "iterative refinement steps")
 		diagnose   = flag.Bool("diagnose", false, "report condition estimate, pivot growth and log-determinant")
 		verifyInv  = flag.Bool("verify", false, "machine-check the structural invariants (Theorems 1-4) during analysis")
+		tracePath  = flag.String("trace", "", "record the numeric phase and write Chrome trace_event JSON to this file (open in chrome://tracing or ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,11 @@ func main() {
 	opts.MaxSupernode = *maxSN
 	opts.Equilibrate = *equil
 	opts.Verify = *verifyInv
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.New(*workers)
+		opts.Trace = rec
+	}
 	switch *taskGraph {
 	case "eforest":
 		opts.TaskGraph = sparselu.EForestGraph
@@ -95,6 +102,12 @@ func main() {
 		fatalf("matrix is numerically singular")
 	}
 
+	if rec != nil {
+		if err := reportTrace(*tracePath, rec, analysis); err != nil {
+			fatalf("trace: %v", err)
+		}
+	}
+
 	b := makeRHS(*rhs, m.Order())
 	t0 = time.Now()
 	var x []float64
@@ -124,6 +137,54 @@ func main() {
 		sign, logAbs := f.LogDet()
 		fmt.Printf("log|det A| = %.6g (sign %+g)\n", logAbs, sign)
 	}
+}
+
+// reportTrace writes the Chrome trace file and prints the realized
+// schedule summary: makespan, per-worker utilization, per-kind totals,
+// and the realized critical path next to the analysis's prediction.
+func reportTrace(path string, rec *trace.Recorder, analysis *sparselu.Analysis) error {
+	events := rec.Events()
+	g := analysis.Symbolic().Graph
+	name := func(e trace.Event) string {
+		if e.Task >= 0 && int(e.Task) < len(g.Tasks) {
+			return g.Tasks[e.Task].String()
+		}
+		return e.Kind.String()
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := trace.WriteChromeTrace(out, events, rec.Workers(), name); err != nil {
+		return err
+	}
+
+	s := trace.Summarize(events, rec.Workers())
+	fmt.Printf("trace (%d events) written to %s\n", s.Events, path)
+	fmt.Printf("  makespan %v, realized parallelism %.2f\n",
+		time.Duration(s.Makespan).Round(time.Microsecond), s.Parallelism)
+	for _, ws := range s.WorkerStats {
+		fmt.Printf("  worker %d: %d tasks, busy %v (%.0f%%), longest idle %v\n",
+			ws.Worker, ws.Tasks, time.Duration(ws.Busy).Round(time.Microsecond),
+			100*ws.Utilization, time.Duration(ws.LongestIdle).Round(time.Microsecond))
+	}
+	for _, ks := range s.KindStats {
+		fmt.Printf("  %s: %d events, total %v, min %v, max %v\n",
+			ks.Kind, ks.Count, time.Duration(ks.Total).Round(time.Microsecond),
+			time.Duration(ks.Min).Round(time.Microsecond), time.Duration(ks.Max).Round(time.Microsecond))
+	}
+	cp, cpTasks, err := trace.RealizedCriticalPath(events, g.Succ)
+	if err != nil {
+		return err
+	}
+	predicted, _, err := g.CriticalPathTasks(analysis.Symbolic().Costs.TaskFlops)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  realized critical path %v over %d tasks (predicted path: %d tasks)\n",
+		time.Duration(cp).Round(time.Microsecond), len(cpTasks), len(predicted))
+	return nil
 }
 
 func loadMatrix(path, gen string) (*sparselu.Matrix, string, error) {

@@ -5,6 +5,7 @@ import (
 	"repro/internal/ordering"
 	"repro/internal/supernode"
 	"repro/internal/taskgraph"
+	"repro/internal/trace"
 )
 
 // Ordering selects the fill-reducing column ordering.
@@ -63,6 +64,11 @@ type Options struct {
 	// paper) and the least-dependence property of the task graph
 	// (Theorem 4). Analysis fails loudly if an invariant is violated.
 	Verify bool
+	// Trace optionally records per-task execution events of the numeric
+	// phase (worker, kind, column, start/stop timestamps) for the
+	// analysis and export functions of internal/trace. The recorder must
+	// have at least Workers buffers; nil disables tracing.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions returns the paper's configuration: minimum degree,
@@ -104,6 +110,7 @@ func (o *Options) toCore() *core.Options {
 		},
 		Equilibrate: o.Equilibrate,
 		Verify:      o.Verify,
+		Trace:       o.Trace,
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ordering"
 	"repro/internal/supernode"
 	"repro/internal/taskgraph"
+	"repro/internal/trace"
 )
 
 // Options configures the analysis and factorization.
@@ -46,6 +47,10 @@ type Options struct {
 	// for the eforest variant — the least-dependence property
 	// (Theorem 4). Costs roughly one extra symbolic factorization.
 	Verify bool
+	// Trace optionally records per-task execution events of the numeric
+	// phase. The recorder must have at least Workers buffers. Nil (the
+	// default) disables tracing at the cost of one branch per task.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions returns the configuration used for the paper's headline

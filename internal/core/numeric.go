@@ -9,6 +9,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/taskgraph"
+	"repro/internal/trace"
 )
 
 // ErrNumericallySingular is returned when a panel factorization meets an
@@ -75,7 +76,7 @@ func FactorizeWith(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sched.Execute(s.Graph, owner, workers, prio, f.runTask); err != nil {
+	if err := sched.ExecuteTraced(s.Graph, owner, workers, prio, s.Opts.Trace, f.runTask); err != nil {
 		return nil, err
 	}
 	return f, nil
@@ -95,7 +96,7 @@ func FactorizeGlobal(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sched.ExecuteGlobal(s.Graph, s.Opts.Workers, prio, f.runTask); err != nil {
+	if err := sched.ExecuteGlobalTraced(s.Graph, s.Opts.Workers, prio, s.Opts.Trace, f.runTask); err != nil {
 		return nil, err
 	}
 	return f, nil
@@ -147,10 +148,20 @@ func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 	}
 
 	// Scatter the permuted numeric values, equilibrated if requested.
+	// The serial scaling pre-pass is recorded as a single Scale event on
+	// worker 0 so traces account for the time spent before the parallel
+	// phase.
 	ap := s.PermuteInput(a)
 	if s.Opts.Equilibrate {
+		var start int64
+		if rec := s.Opts.Trace; rec != nil {
+			start = rec.Now()
+		}
 		f.rscale, f.cscale = Equilibrate(ap)
 		ap = applyScaling(ap, f.rscale, f.cscale)
+		if rec := s.Opts.Trace; rec != nil {
+			rec.Record(0, trace.NoTask, trace.KindScale, -1, start)
+		}
 	}
 	for j := 0; j < s.N; j++ {
 		bj := part.ColToBlock[j]
@@ -181,13 +192,13 @@ func (f *Factorization) rowOffset(c *blockCol, g int) (int, error) {
 }
 
 // runTask dispatches one task of the dependence graph.
-func (f *Factorization) runTask(id int) {
+func (f *Factorization) runTask(id int) error {
 	t := f.S.Graph.Tasks[id]
 	if t.Kind == taskgraph.Factor {
 		f.factorPanel(t.K)
-	} else {
-		f.update(t.K, t.J)
+		return nil
 	}
+	return f.update(t.K, t.J)
 }
 
 // factorPanel performs task F(K): dense LU with partial pivoting on the
@@ -209,7 +220,9 @@ func (f *Factorization) factorPanel(k int) {
 // update performs task U(K, J): replay panel K's pivot interchanges on
 // block column J, solve for the U block with the unit-lower diagonal
 // factor of K, and apply the Schur updates of K's sub-diagonal blocks.
-func (f *Factorization) update(k, j int) {
+// A structural mismatch between the analysis and the stored blocks is
+// returned as an error so the executor can report which task failed.
+func (f *Factorization) update(k, j int) error {
 	colK := &f.cols[k]
 	colJ := &f.cols[j]
 	wk, wj := colK.width, colJ.width
@@ -226,7 +239,7 @@ func (f *Factorization) update(k, j int) {
 		o1, err1 := f.rowOffset(colJ, prows[c])
 		o2, err2 := f.rowOffset(colJ, prows[r])
 		if err1 != nil || err2 != nil {
-			panic(fmt.Sprintf("core: pivot row of panel %d missing in column %d: %v %v", k, j, err1, err2))
+			return fmt.Errorf("core: pivot row of panel %d missing in column %d: %v %v", k, j, err1, err2)
 		}
 		blas.Dswap(wj, colJ.data[o1*wj:], 1, colJ.data[o2*wj:], 1)
 	}
@@ -235,7 +248,7 @@ func (f *Factorization) update(k, j int) {
 	diag := colK.data[colK.panelOffset()*wk:]
 	bkjOff, ok := colJ.offsetOf[k]
 	if !ok {
-		panic(fmt.Sprintf("core: block (%d,%d) missing", k, j))
+		return fmt.Errorf("core: block (%d,%d) missing", k, j)
 	}
 	bkj := colJ.data[bkjOff*wj:]
 	blas.Dtrsm(true, true, wk, wj, 1, diag, wk, bkj, wj)
@@ -248,9 +261,10 @@ func (f *Factorization) update(k, j int) {
 		lik := colK.data[colK.offsets[t]*wk:]
 		dstOff, ok := colJ.offsetOf[i]
 		if !ok {
-			panic(fmt.Sprintf("core: update target block (%d,%d) missing", i, j))
+			return fmt.Errorf("core: update target block (%d,%d) missing", i, j)
 		}
 		dst := colJ.data[dstOff*wj:]
 		blas.Dgemm(szI, wj, wk, -1, lik, wk, bkj, wj, 1, dst, wj)
 	}
+	return nil
 }

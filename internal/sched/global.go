@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/taskgraph"
+	"repro/internal/trace"
 )
 
 // The paper's runtime (RAPID on the Origin 2000, a cache-coherent shared
@@ -22,9 +23,24 @@ import (
 // task from one global queue (task-level scheduling). Concurrent tasks
 // may target the same block column; that is safe for both dependence-
 // graph variants because unordered tasks touch disjoint rows.
-func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id int)) error {
+//
+// The first task failure observed by any worker — a non-nil error from
+// run, or a panic in the task body — stops the execution and is
+// returned as a *TaskError carrying the task id.
+func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id int) error) error {
+	return ExecuteGlobalTraced(g, procs, prio, nil, run)
+}
+
+// ExecuteGlobalTraced is ExecuteGlobal with an optional event recorder:
+// when rec is non-nil, every task execution is recorded with its worker
+// id, kind, destination column and start/stop timestamps. A nil rec
+// costs one predictable branch per task.
+func ExecuteGlobalTraced(g *taskgraph.Graph, procs int, prio []float64, rec *trace.Recorder, run func(id int) error) error {
 	if procs < 1 {
 		return fmt.Errorf("sched: procs = %d", procs)
+	}
+	if rec != nil && rec.Workers() < procs {
+		return fmt.Errorf("sched: recorder has %d worker buffers for %d workers", rec.Workers(), procs)
 	}
 	if prio == nil {
 		var err error
@@ -39,7 +55,7 @@ func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id in
 	cond := sync.NewCond(&mu)
 	queue := priorityQueue{prio: prio}
 	remaining := g.NumTasks()
-	var firstPanic any
+	var firstErr *TaskError
 
 	mu.Lock()
 	for id, d := range indeg {
@@ -52,36 +68,40 @@ func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id in
 	var wg sync.WaitGroup
 	for p := 0; p < procs; p++ {
 		wg.Add(1)
-		go func() {
+		go func(p int) {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				for queue.Len() == 0 && remaining > 0 && firstPanic == nil {
+				for queue.Len() == 0 && remaining > 0 && firstErr == nil {
 					cond.Wait()
 				}
-				if remaining == 0 || firstPanic != nil {
+				if remaining == 0 || firstErr != nil {
 					mu.Unlock()
 					return
 				}
 				id := heap.Pop(&queue).(int)
 				mu.Unlock()
 
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							mu.Lock()
-							if firstPanic == nil {
-								firstPanic = r
-							}
-							cond.Broadcast()
-							mu.Unlock()
-						}
-					}()
-					run(id)
-				}()
+				var err error
+				if rec != nil {
+					start := rec.Now()
+					err = safeRun(run, id)
+					kind, col := traceKindCol(&g.Tasks[id])
+					rec.Record(p, id, kind, col, start)
+				} else {
+					err = safeRun(run, id)
+				}
 
 				mu.Lock()
-				if firstPanic != nil {
+				if err != nil {
+					if firstErr == nil {
+						firstErr = &TaskError{ID: id, Task: g.Tasks[id].String(), Err: err}
+					}
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				if firstErr != nil {
 					mu.Unlock()
 					return
 				}
@@ -95,12 +115,11 @@ func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id in
 				cond.Broadcast()
 				mu.Unlock()
 			}
-		}()
+		}(p)
 	}
 	wg.Wait()
-	if firstPanic != nil {
-		// Rethrow verbatim: the value carries the worker's original message.
-		panic(firstPanic) //lucheck:allow naked-panic
+	if firstErr != nil {
+		return firstErr
 	}
 	return nil
 }

@@ -17,7 +17,51 @@ import (
 	"sync"
 
 	"repro/internal/taskgraph"
+	"repro/internal/trace"
 )
+
+// TaskError is the failure of one task during an execution. The
+// executors return the first such failure observed by any worker, with
+// the task's id and paper notation attached so callers can pinpoint the
+// offending block column.
+type TaskError struct {
+	// ID is the task id in the dependence graph.
+	ID int
+	// Task is the task in the paper's notation, e.g. "U(3,7)".
+	Task string
+	// Err is the underlying failure (a returned error, or a converted
+	// panic).
+	Err error
+}
+
+// Error formats the failure with the task attached.
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("sched: task %d %s: %v", e.ID, e.Task, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// safeRun invokes run(id), converting a panic in the task body into an
+// ordinary error so one broken task cannot tear down the process before
+// the executor reports which task failed.
+func safeRun(run func(id int) error, id int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task panicked: %v", r)
+		}
+	}()
+	return run(id)
+}
+
+// traceKindCol maps a graph task to its trace kind and destination
+// block column.
+func traceKindCol(t *taskgraph.Task) (trace.Kind, int) {
+	if t.Kind == taskgraph.Factor {
+		return trace.KindFactor, t.K
+	}
+	return trace.KindUpdate, t.J
+}
 
 // Assignment maps each block column to the processor that owns it.
 type Assignment []int
@@ -109,9 +153,24 @@ func (q *priorityQueue) Pop() any {
 // mapping. run is called with the task id; it must be safe for
 // concurrent invocation on different block columns. prio orders each
 // worker's ready queue (nil means bottom levels with unit weights).
-func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, run func(id int)) error {
+//
+// The first task failure observed by any worker — a non-nil error from
+// run, or a panic in the task body — stops the execution and is
+// returned as a *TaskError carrying the task id.
+func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, run func(id int) error) error {
+	return ExecuteTraced(g, owner, procs, prio, nil, run)
+}
+
+// ExecuteTraced is Execute with an optional event recorder: when rec is
+// non-nil, every task execution is recorded with its worker id, kind,
+// destination column and start/stop timestamps. A nil rec costs one
+// predictable branch per task.
+func ExecuteTraced(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, rec *trace.Recorder, run func(id int) error) error {
 	if procs < 1 {
 		return fmt.Errorf("sched: procs = %d", procs)
+	}
+	if rec != nil && rec.Workers() < procs {
+		return fmt.Errorf("sched: recorder has %d worker buffers for %d workers", rec.Workers(), procs)
 	}
 	if prio == nil {
 		var err error
@@ -130,7 +189,7 @@ func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, ru
 		queues[p].prio = prio
 	}
 	remaining := g.NumTasks()
-	var firstPanic any
+	var firstErr *TaskError
 
 	mu.Lock()
 	for id, d := range indeg {
@@ -148,32 +207,36 @@ func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, ru
 			defer wg.Done()
 			for {
 				mu.Lock()
-				for queues[p].Len() == 0 && remaining > 0 && firstPanic == nil {
+				for queues[p].Len() == 0 && remaining > 0 && firstErr == nil {
 					cond.Wait()
 				}
-				if remaining == 0 || firstPanic != nil {
+				if remaining == 0 || firstErr != nil {
 					mu.Unlock()
 					return
 				}
 				id := heap.Pop(&queues[p]).(int)
 				mu.Unlock()
 
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							mu.Lock()
-							if firstPanic == nil {
-								firstPanic = r
-							}
-							cond.Broadcast()
-							mu.Unlock()
-						}
-					}()
-					run(id)
-				}()
+				var err error
+				if rec != nil {
+					start := rec.Now()
+					err = safeRun(run, id)
+					kind, col := traceKindCol(&g.Tasks[id])
+					rec.Record(p, id, kind, col, start)
+				} else {
+					err = safeRun(run, id)
+				}
 
 				mu.Lock()
-				if firstPanic != nil {
+				if err != nil {
+					if firstErr == nil {
+						firstErr = &TaskError{ID: id, Task: g.Tasks[id].String(), Err: err}
+					}
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				if firstErr != nil {
 					mu.Unlock()
 					return
 				}
@@ -190,9 +253,8 @@ func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, ru
 		}(p)
 	}
 	wg.Wait()
-	if firstPanic != nil {
-		// Rethrow verbatim: the value carries the worker's original message.
-		panic(firstPanic) //lucheck:allow naked-panic
+	if firstErr != nil {
+		return firstErr
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -158,9 +160,10 @@ func TestExecuteRunsAllTasksOnce(t *testing.T) {
 			g, _ := buildGraph(t, 25, 0.12, 92, v)
 			var count int64
 			seen := make([]int32, g.NumTasks())
-			err := Execute(g, BlockCyclic(g.N, procs), procs, nil, func(id int) {
+			err := Execute(g, BlockCyclic(g.N, procs), procs, nil, func(id int) error {
 				atomic.AddInt64(&count, 1)
 				atomic.AddInt32(&seen[id], 1)
+				return nil
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -187,17 +190,16 @@ func TestExecuteRespectsDependences(t *testing.T) {
 			pred[s] = append(pred[s], id)
 		}
 	}
-	err := Execute(g, BlockCyclic(g.N, 4), 4, nil, func(id int) {
+	err := Execute(g, BlockCyclic(g.N, 4), 4, nil, func(id int) error {
 		mu.Lock()
 		defer mu.Unlock()
 		for _, p := range pred[id] {
 			if !done[p] {
-				panicMsg := "dependence violated"
-				mu.Unlock()
-				panic(panicMsg)
+				return fmt.Errorf("dependence violated: %d ran before %d", id, p)
 			}
 		}
 		done[id] = true
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -216,39 +218,92 @@ func TestExecuteSerializesBlockColumns(t *testing.T) {
 	owner := BlockCyclic(g.N, 4)
 	var mu sync.Mutex
 	active := make(map[int]int) // destination column -> active count
-	err := Execute(g, owner, 4, nil, func(id int) {
+	err := Execute(g, owner, 4, nil, func(id int) error {
 		dest := g.Tasks[id].K
 		if g.Tasks[id].Kind == taskgraph.Update {
 			dest = g.Tasks[id].J
 		}
 		mu.Lock()
 		active[dest]++
-		if active[dest] > 1 {
-			mu.Unlock()
-			panic("two tasks active on one block column")
-		}
+		over := active[dest] > 1
 		mu.Unlock()
+		if over {
+			return errors.New("two tasks active on one block column")
+		}
 		mu.Lock()
 		active[dest]--
 		mu.Unlock()
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestExecutePropagatesPanic(t *testing.T) {
+// TestExecuteReturnsFirstTaskError pins the executor error contract:
+// the first task failure observed by any worker is returned — not
+// swallowed, not panicked — as a *TaskError carrying the task id.
+func TestExecuteReturnsFirstTaskError(t *testing.T) {
 	g, _ := buildGraph(t, 10, 0.15, 95, taskgraph.SStar)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("panic not propagated")
+	boom := errors.New("boom")
+	err := Execute(g, BlockCyclic(g.N, 2), 2, nil, func(id int) error {
+		if id == 3 {
+			return boom
 		}
-	}()
-	_ = Execute(g, BlockCyclic(g.N, 2), 2, nil, func(id int) {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("task error swallowed")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is %T, want *TaskError", err)
+	}
+	if te.ID != 3 {
+		t.Fatalf("TaskError.ID = %d, want 3", te.ID)
+	}
+	if te.Task != g.Tasks[3].String() {
+		t.Fatalf("TaskError.Task = %q, want %q", te.Task, g.Tasks[3].String())
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("errors.Is lost the cause: %v", err)
+	}
+}
+
+// TestExecuteConvertsPanicToError: a panic in a task body surfaces as a
+// *TaskError instead of tearing down the process.
+func TestExecuteConvertsPanicToError(t *testing.T) {
+	g, _ := buildGraph(t, 10, 0.15, 95, taskgraph.SStar)
+	err := Execute(g, BlockCyclic(g.N, 2), 2, nil, func(id int) error {
 		if id == 3 {
 			panic("boom")
 		}
+		return nil
 	})
+	var te *TaskError
+	if !errors.As(err, &te) || te.ID != 3 {
+		t.Fatalf("panic not converted to TaskError: %v", err)
+	}
+}
+
+// TestExecuteGlobalReturnsFirstTaskError: same contract for the
+// task-level executor.
+func TestExecuteGlobalReturnsFirstTaskError(t *testing.T) {
+	g, _ := buildGraph(t, 10, 0.15, 95, taskgraph.SStar)
+	boom := errors.New("boom")
+	err := ExecuteGlobal(g, 4, nil, func(id int) error {
+		if id == 3 {
+			return boom
+		}
+		return nil
+	})
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is %T, want *TaskError", err)
+	}
+	if te.ID != 3 || !errors.Is(err, boom) {
+		t.Fatalf("wrong task error: %v", err)
+	}
 }
 
 func TestSimulateBasics(t *testing.T) {
@@ -364,7 +419,7 @@ func TestSimulateRejectsBadMachine(t *testing.T) {
 
 func TestExecuteRejectsBadProcs(t *testing.T) {
 	g, _ := buildGraph(t, 5, 0.2, 100, taskgraph.SStar)
-	if err := Execute(g, BlockCyclic(g.N, 1), 0, nil, func(int) {}); err == nil {
+	if err := Execute(g, BlockCyclic(g.N, 1), 0, nil, func(int) error { return nil }); err == nil {
 		t.Fatal("accepted 0 processors")
 	}
 }
@@ -465,8 +520,9 @@ func TestExecuteGlobalRunsAllTasks(t *testing.T) {
 	for _, procs := range []int{1, 4, 8} {
 		g, _ := buildGraph(t, 25, 0.12, 113, taskgraph.EForest)
 		var count int64
-		err := ExecuteGlobal(g, procs, nil, func(id int) {
+		err := ExecuteGlobal(g, procs, nil, func(id int) error {
 			atomic.AddInt64(&count, 1)
+			return nil
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -487,15 +543,16 @@ func TestExecuteGlobalRespectsDependences(t *testing.T) {
 	}
 	var mu sync.Mutex
 	done := make([]bool, g.NumTasks())
-	err := ExecuteGlobal(g, 4, nil, func(id int) {
+	err := ExecuteGlobal(g, 4, nil, func(id int) error {
 		mu.Lock()
 		defer mu.Unlock()
 		for _, p := range pred[id] {
 			if !done[p] {
-				panic("dependence violated")
+				return fmt.Errorf("dependence violated: %d ran before %d", id, p)
 			}
 		}
 		done[id] = true
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -298,6 +298,52 @@ func (g *Graph) CriticalPath(cost []float64) (cp, total float64, err error) {
 	return cp, total, nil
 }
 
+// CriticalPathTasks returns one longest weighted path through the graph
+// as an explicit task sequence, together with its length. Ties are
+// broken toward smaller task ids, so the path is deterministic. cost may
+// be nil for unit weights. The result is the *predicted* critical path;
+// internal/trace computes the realized one from an execution, and
+// comparing the two shows how much of the predicted chain the scheduler
+// actually serialized on.
+func (g *Graph) CriticalPathTasks(cost []float64) (path []int, cp float64, err error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	w := func(id int) float64 {
+		if cost == nil {
+			return 1
+		}
+		return cost[id]
+	}
+	finish := make([]float64, len(g.Tasks))
+	pred := make([]int, len(g.Tasks))
+	for i := range pred {
+		pred[i] = -1
+	}
+	bestID := -1
+	for _, id := range order {
+		f := finish[id] + w(id)
+		finish[id] = f
+		if f > cp || (f == cp && (bestID == -1 || id < bestID)) {
+			cp, bestID = f, id
+		}
+		for _, s := range g.Succ[id] {
+			if f > finish[s] || (f == finish[s] && (pred[s] == -1 || id < pred[s])) {
+				finish[s] = f
+				pred[s] = id
+			}
+		}
+	}
+	for id := bestID; id != -1; id = pred[id] {
+		path = append(path, id)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, cp, nil
+}
+
 // BottomLevels returns, for every task, the weighted length of the
 // longest path from the task to any sink, including the task's own
 // weight. Scheduling by descending bottom level is the classic

@@ -280,6 +280,53 @@ func TestCriticalPathNeverWorseAcrossRandomMatrices(t *testing.T) {
 	}
 }
 
+func TestCriticalPathTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	for trial := 0; trial < 10; trial++ {
+		sym := mustFactor(t, randomZeroFreeDiag(15+rng.Intn(25), 0.1, rng))
+		_, g, _ := bothGraphs(t, sym)
+		path, cp, err := g.CriticalPathTasks(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The explicit path must have the scalar critical path's length
+		// (unit weights: one per task on the path).
+		wantCP, _, err := g.CriticalPath(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp != wantCP {
+			t.Fatalf("trial %d: path length %g, CriticalPath %g", trial, cp, wantCP)
+		}
+		if float64(len(path)) != cp {
+			t.Fatalf("trial %d: %d tasks on a unit-weight path of length %g", trial, len(path), cp)
+		}
+		// Consecutive path tasks must be dependence edges.
+		for i := 0; i+1 < len(path); i++ {
+			found := false
+			for _, s := range g.Succ[path[i]] {
+				if int(s) == path[i+1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: %d → %d on the path is not an edge", trial, path[i], path[i+1])
+			}
+		}
+		// Deterministic across calls.
+		path2, _, err := g.CriticalPathTasks(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range path {
+			if path[i] != path2[i] {
+				t.Fatalf("trial %d: path not deterministic", trial)
+			}
+		}
+	}
+}
+
 func TestTaskString(t *testing.T) {
 	if (Task{Kind: Factor, K: 3}).String() != "F(3)" {
 		t.Fatal("Factor String wrong")

@@ -1,0 +1,338 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// HistBuckets is the number of log2 duration buckets of a KindStat:
+// bucket b counts events with duration in [2^b, 2^(b+1)) nanoseconds
+// (bucket 0 also collects sub-nanosecond durations).
+const HistBuckets = 32
+
+// WorkerStat aggregates one worker's activity over the trace window.
+type WorkerStat struct {
+	Worker int
+	// Tasks is the number of events the worker executed.
+	Tasks int
+	// Busy is the summed event duration in nanoseconds.
+	Busy int64
+	// Idle is the trace window minus Busy.
+	Idle int64
+	// LongestIdle is the longest single gap (ns) with no event running
+	// on this worker, including the spans before its first and after
+	// its last event.
+	LongestIdle int64
+	// Utilization is Busy divided by the trace makespan (0 when the
+	// makespan is zero).
+	Utilization float64
+}
+
+// KindStat aggregates the events of one task kind.
+type KindStat struct {
+	Kind  Kind
+	Count int
+	// Total, Min and Max are durations in nanoseconds.
+	Total, Min, Max int64
+	// Hist is the log2 duration histogram (see HistBuckets).
+	Hist [HistBuckets]int
+}
+
+// Summary is the realized-schedule report of one traced execution.
+type Summary struct {
+	// Events is the number of recorded events.
+	Events int
+	// Workers is the number of workers the summary was computed for.
+	Workers int
+	// Makespan is the trace window in nanoseconds: latest End minus
+	// earliest Start.
+	Makespan int64
+	// TotalBusy is the summed duration of all events.
+	TotalBusy int64
+	// Parallelism is TotalBusy / Makespan — the realized speedup over a
+	// serial execution of the same tasks (the speedup-vs-serial of an
+	// ideal serial run with identical per-task times).
+	Parallelism float64
+	// WorkerStats has one entry per worker.
+	WorkerStats []WorkerStat
+	// KindStats has one entry per kind that occurred, in Kind order.
+	KindStats []KindStat
+}
+
+// Summarize computes per-worker utilization/idle spans and per-kind
+// time histograms over the merged events of a run on the given number
+// of workers.
+func Summarize(events []Event, workers int) *Summary {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Summary{Events: len(events), Workers: workers}
+	if len(events) == 0 {
+		s.WorkerStats = make([]WorkerStat, workers)
+		for w := range s.WorkerStats {
+			s.WorkerStats[w].Worker = w
+		}
+		return s
+	}
+	start := events[0].Start
+	end := events[0].End
+	for _, e := range events {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	s.Makespan = end - start
+
+	perWorker := make([][]Event, workers)
+	kinds := make([]KindStat, numKinds)
+	for k := range kinds {
+		kinds[k].Kind = Kind(k)
+	}
+	for _, e := range events {
+		if int(e.Worker) >= 0 && int(e.Worker) < workers {
+			perWorker[e.Worker] = append(perWorker[e.Worker], e)
+		}
+		s.TotalBusy += e.Duration()
+		if int(e.Kind) < len(kinds) {
+			ks := &kinds[e.Kind]
+			d := e.Duration()
+			if ks.Count == 0 || d < ks.Min {
+				ks.Min = d
+			}
+			if d > ks.Max {
+				ks.Max = d
+			}
+			ks.Count++
+			ks.Total += d
+			ks.Hist[histBucket(d)]++
+		}
+	}
+	if s.Makespan > 0 {
+		s.Parallelism = float64(s.TotalBusy) / float64(s.Makespan)
+	}
+
+	s.WorkerStats = make([]WorkerStat, workers)
+	for w, evs := range perWorker {
+		ws := &s.WorkerStats[w]
+		ws.Worker = w
+		cursor := start // end of the last busy span seen so far
+		for _, e := range evs {
+			ws.Tasks++
+			ws.Busy += e.Duration()
+			if gap := e.Start - cursor; gap > ws.LongestIdle {
+				ws.LongestIdle = gap
+			}
+			if e.End > cursor {
+				cursor = e.End
+			}
+		}
+		if gap := end - cursor; gap > ws.LongestIdle {
+			ws.LongestIdle = gap
+		}
+		ws.Idle = s.Makespan - ws.Busy
+		if s.Makespan > 0 {
+			ws.Utilization = float64(ws.Busy) / float64(s.Makespan)
+		}
+	}
+	for _, ks := range kinds {
+		if ks.Count > 0 {
+			s.KindStats = append(s.KindStats, ks)
+		}
+	}
+	return s
+}
+
+// histBucket maps a duration in nanoseconds to its log2 bucket.
+func histBucket(d int64) int {
+	if d <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(d)) - 1
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// RealizedCriticalPath computes the longest dependence-weighted path
+// through an executed schedule: the chain of tasks, linked by edges of
+// the dependence graph succ, whose summed *realized* durations is
+// maximal. It returns the path length in nanoseconds and the task ids
+// along one such path in execution order (ties broken toward smaller
+// task ids, deterministically). Events whose Task is NoTask or outside
+// the graph are ignored; tasks with no recorded event weigh zero.
+func RealizedCriticalPath(events []Event, succ [][]int32) (int64, []int32, error) {
+	nt := len(succ)
+	dur := make([]int64, nt)
+	for _, e := range events {
+		if e.Task >= 0 && int(e.Task) < nt {
+			dur[e.Task] += e.Duration()
+		}
+	}
+	order, err := topoOrder(succ)
+	if err != nil {
+		return 0, nil, err
+	}
+	finish := make([]int64, nt)
+	pred := make([]int32, nt)
+	for i := range pred {
+		pred[i] = -1
+	}
+	var best int64
+	bestID := int32(-1)
+	for _, id := range order {
+		f := finish[id] + dur[id]
+		finish[id] = f
+		if f > best || (f == best && (bestID == -1 || id < bestID)) {
+			best, bestID = f, id
+		}
+		for _, s := range succ[id] {
+			if f > finish[s] || (f == finish[s] && (pred[s] == -1 || id < pred[s])) {
+				finish[s] = f
+				pred[s] = id
+			}
+		}
+	}
+	var path []int32
+	for id := bestID; id != -1; id = pred[id] {
+		path = append(path, id)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path, nil
+}
+
+// WorkerSequences splits the merged events into per-worker task id
+// sequences in start order, skipping events without a task id. The
+// result is the realized static schedule of the run, replayable with
+// UnitMakespan or against a simulator.
+func WorkerSequences(events []Event, workers int) [][]int32 {
+	if workers < 1 {
+		workers = 1
+	}
+	seqs := make([][]int32, workers)
+	for _, e := range events { // events are sorted by start time
+		if e.Task < 0 || int(e.Worker) < 0 || int(e.Worker) >= workers {
+			continue
+		}
+		seqs[e.Worker] = append(seqs[e.Worker], e.Task)
+	}
+	return seqs
+}
+
+// UnitMakespan replays per-worker task sequences in order under unit
+// task costs: each worker executes its sequence strictly in order, a
+// task starts when the worker is free and every predecessor (under
+// succ) has finished, and every task takes one time unit. The result is
+// the realized schedule's makespan in task units — directly comparable
+// to a discrete-event simulation of the same graph with unit costs. An
+// error is returned if the sequences do not cover every task exactly
+// once or deadlock against the dependence order.
+func UnitMakespan(seqs [][]int32, succ [][]int32) (int, error) {
+	nt := len(succ)
+	seen := make([]bool, nt)
+	total := 0
+	for _, seq := range seqs {
+		for _, id := range seq {
+			if int(id) >= nt || id < 0 {
+				return 0, fmt.Errorf("trace: task %d outside the graph of %d tasks", id, nt)
+			}
+			if seen[id] {
+				return 0, fmt.Errorf("trace: task %d appears twice in the schedule", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != nt {
+		return 0, fmt.Errorf("trace: schedule covers %d of %d tasks", total, nt)
+	}
+	pending := make([]int, nt)
+	for _, ss := range succ {
+		for _, s := range ss {
+			pending[s]++
+		}
+	}
+	finish := make([]int, nt) // finish time of each executed task
+	arrive := make([]int, nt) // max finish over executed predecessors
+	pos := make([]int, len(seqs))
+	free := make([]int, len(seqs))
+	for done := 0; done < nt; {
+		bestW, bestStart := -1, 0
+		for w := range seqs {
+			if pos[w] >= len(seqs[w]) {
+				continue
+			}
+			id := seqs[w][pos[w]]
+			if pending[id] > 0 {
+				continue // an in-order predecessor has not executed yet
+			}
+			start := free[w]
+			if arrive[id] > start {
+				start = arrive[id]
+			}
+			if bestW == -1 || start < bestStart {
+				bestW, bestStart = w, start
+			}
+		}
+		if bestW == -1 {
+			return 0, fmt.Errorf("trace: schedule deadlocks with %d of %d tasks done", done, nt)
+		}
+		id := seqs[bestW][pos[bestW]]
+		pos[bestW]++
+		f := bestStart + 1
+		finish[id] = f
+		free[bestW] = f
+		done++
+		for _, s := range succ[id] {
+			pending[s]--
+			if f > arrive[s] {
+				arrive[s] = f
+			}
+		}
+	}
+	mk := 0
+	for _, f := range finish {
+		if f > mk {
+			mk = f
+		}
+	}
+	return mk, nil
+}
+
+// topoOrder is Kahn's algorithm over the successor lists.
+func topoOrder(succ [][]int32) ([]int32, error) {
+	nt := len(succ)
+	indeg := make([]int, nt)
+	for _, ss := range succ {
+		for _, s := range ss {
+			indeg[s]++
+		}
+	}
+	queue := make([]int32, 0, nt)
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, int32(id))
+		}
+	}
+	order := make([]int32, 0, nt)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != nt {
+		return nil, fmt.Errorf("trace: dependence graph has a cycle (%d of %d ordered)", len(order), nt)
+	}
+	return order, nil
+}

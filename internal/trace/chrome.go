@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The Chrome trace_event format (the JSON consumed by chrome://tracing
+// and ui.perfetto.dev): an object with a traceEvents array of complete
+// events, one per recorded task, with microsecond timestamps. Workers
+// map to threads of a single "sparselu" process so the timeline shows
+// one swimlane per worker.
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the events as Chrome trace_event JSON. name
+// labels each event; a nil name falls back to "kind(task)". The output
+// loads directly into chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event, workers int, name func(e Event) string) error {
+	if name == nil {
+		name = func(e Event) string {
+			if e.Task == NoTask {
+				return e.Kind.String()
+			}
+			return fmt.Sprintf("%s(%d)", e.Kind, e.Task)
+		}
+	}
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	out.TraceEvents = make([]chromeEvent, 0, len(events)+workers+1)
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "sparselu"},
+	})
+	for wkr := 0; wkr < workers; wkr++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: wkr,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", wkr)},
+		})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: name(e),
+			Cat:  e.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(e.Start) / 1e3,
+			Dur:  float64(e.Duration()) / 1e3,
+			Pid:  0,
+			Tid:  int(e.Worker),
+			Args: map[string]any{"task": e.Task, "col": e.Col},
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
