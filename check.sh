@@ -3,6 +3,7 @@
 #
 #   ./check.sh lint    # gofmt, vet, build, lucheck
 #   ./check.sh test    # race-enabled test suite
+#   ./check.sh chaos   # fault-injection / cancellation stress, -race, repeated
 #   ./check.sh bench   # paperbench small suite + regression compare
 #   ./check.sh [all]   # everything above (the default)
 #
@@ -40,6 +41,17 @@ test_stage() {
 	go test -race ./...
 }
 
+chaos() {
+	# The robustness surface under the race detector, repeated to shake
+	# out scheduling-dependent interleavings: injected panics/errors/NaNs,
+	# cancellation latency, timeouts, and the singularity/perturbation
+	# contract. SPARSELU_CHAOS_COUNT (default 5) sets the repetition count.
+	echo "==> chaos (fault injection + cancellation stress, -race)"
+	go test -race -count "${SPARSELU_CHAOS_COUNT:-5}" \
+		-run 'Cancel|Abort|Fault|Injector|Panic|Poison|Timeout|NearSingular|Singular|Perturb' \
+		./internal/sched/ ./internal/core/ ./internal/faultinject/ ./internal/gplu/ .
+}
+
 bench() {
 	echo "==> paperbench (small suite, regression gate)"
 	mkdir -p bench-out
@@ -55,14 +67,16 @@ bench() {
 case "$stage" in
 lint) lint ;;
 test) test_stage ;;
+chaos) chaos ;;
 bench) bench ;;
 all)
 	lint
 	test_stage
+	chaos
 	bench
 	;;
 *)
-	echo "check.sh: unknown stage '$stage' (want lint, test, bench or all)" >&2
+	echo "check.sh: unknown stage '$stage' (want lint, test, chaos, bench or all)" >&2
 	exit 2
 	;;
 esac

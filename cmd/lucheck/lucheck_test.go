@@ -101,6 +101,7 @@ func TestFixtureViolations(t *testing.T) {
 		"float-equality":   1,
 		"lock-discipline":  1,
 		"worker-timing":    1,
+		"worker-exit":      2,
 	}
 	for rule, n := range want {
 		if got[rule] != n {

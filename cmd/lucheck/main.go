@@ -1,7 +1,7 @@
 // Command lucheck is the project-specific static checker for the
 // parallel sparse LU codebase. It parses and type-checks the whole
 // module with the standard library's go/ast and go/types and enforces
-// five invariants the general tools cannot know about:
+// six invariants the general tools cannot know about:
 //
 //   - pattern-mutation: the CSC/Pattern structure slices (ColPtr,
 //     RowInd) back the *static* symbolic factorization; they may only
@@ -21,6 +21,10 @@
 //     the wall clock (time.Now / time.Since) directly; task timing goes
 //     through the internal/trace recorder so traces are the single
 //     source of truth and untraced runs pay no timing cost.
+//   - worker-exit: goroutine bodies in internal/sched may not
+//     terminate the process (os.Exit, log.Fatal*); failures must flow
+//     through the scheduler's TaskError/cancellation contract so the
+//     caller learns which task failed and the pool shuts down cleanly.
 //
 // Findings can be waived with a `//lucheck:allow <rule>` comment on the
 // same line or the line above, which keeps deliberate exceptions

@@ -27,6 +27,12 @@ package main
 //     clock (time.Now / time.Since) must not be read directly; task
 //     timing goes through the internal/trace recorder so traces stay
 //     the single source of truth and untraced runs pay no timing cost.
+//   - worker-exit: inside goroutines of the worker packages, the
+//     process must not be terminated directly (os.Exit, log.Fatal*).
+//     A worker that kills the process on failure bypasses the
+//     scheduler's error contract: failures surface as a TaskError
+//     through the cancellation path, so the caller learns which task
+//     failed and the remaining workers stop cleanly.
 
 import (
 	"fmt"
@@ -112,6 +118,7 @@ func analyzePkg(fset *token.FileSet, pi *pkgInfo, cfg *config) []finding {
 		if cfg.workers[pi.path] {
 			p.lockDiscipline(f)
 			p.workerTiming(f)
+			p.workerExit(f)
 		}
 	}
 	return p.findings
@@ -380,6 +387,49 @@ func (p *pass) workerTiming(f *ast.File) {
 			}
 			p.report(call.Pos(), "worker-timing",
 				"direct time.%s in a worker goroutine; timing belongs to the internal/trace recorder", sel.Sel.Name)
+			return true
+		})
+		return true
+	})
+}
+
+// workerExit flags process-terminating calls (os.Exit, log.Fatal*)
+// inside goroutines of the worker packages. A worker closure that kills
+// the process on failure bypasses the scheduler's error contract —
+// failures must surface as a TaskError through the cancellation path so
+// the caller learns which task failed and the remaining workers stop
+// cleanly instead of vanishing mid-factorization.
+func (p *pass) workerExit(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.pi.info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "os" && sel.Sel.Name == "Exit":
+			case obj.Pkg().Path() == "log" && strings.HasPrefix(sel.Sel.Name, "Fatal"):
+			default:
+				return true
+			}
+			p.report(call.Pos(), "worker-exit",
+				"%s.%s in a worker goroutine kills the process; fail through the scheduler's error contract instead", obj.Pkg().Path(), sel.Sel.Name)
 			return true
 		})
 		return true

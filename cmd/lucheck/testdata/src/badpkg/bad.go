@@ -6,6 +6,8 @@ package badpkg
 
 import (
 	"fmt"
+	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -80,4 +82,29 @@ func TimedWorker() time.Duration {
 	}()
 	wg.Wait()
 	return time.Since(start)
+}
+
+// ExitingWorker terminates the process from worker goroutines instead
+// of failing through the scheduler's error contract: two worker-exit
+// findings. The os.Exit outside any goroutine is out of the rule's
+// scope (main packages exit; worker closures must not).
+func ExitingWorker(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if fail {
+			os.Exit(1) // want worker-exit
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if fail {
+			log.Fatalf("task failed") // want worker-exit
+		}
+	}()
+	wg.Wait()
+	if fail {
+		os.Exit(2)
+	}
 }

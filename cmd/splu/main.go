@@ -7,6 +7,7 @@
 //	splu -gen sherman3                 # generated benchmark matrix
 //	splu -workers 4 -taskgraph sstar -postorder=false
 //	splu -rhs ones                     # ones | index | random
+//	splu -pivot perturb -refine 3      # factor near-singular systems
 //
 // Without -matrix or -gen, a small built-in example runs.
 package main
@@ -38,6 +39,8 @@ func main() {
 		diagnose   = flag.Bool("diagnose", false, "report condition estimate, pivot growth and log-determinant")
 		verifyInv  = flag.Bool("verify", false, "machine-check the structural invariants (Theorems 1-4) during analysis")
 		tracePath  = flag.String("trace", "", "record the numeric phase and write Chrome trace_event JSON to this file (open in chrome://tracing or ui.perfetto.dev)")
+		pivot      = flag.String("pivot", "fail", "zero-pivot policy: fail (report singularity) or perturb (replace tiny pivots by ±√ε·‖A‖∞, recover with -refine)")
+		timeout    = flag.Duration("timeout", 0, "abort the numeric phase after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -56,6 +59,15 @@ func main() {
 	if *tracePath != "" {
 		rec = trace.New(*workers)
 		opts.Trace = rec
+	}
+	opts.Timeout = *timeout
+	switch *pivot {
+	case "fail":
+		opts.PivotPolicy = sparselu.PivotFail
+	case "perturb":
+		opts.PivotPolicy = sparselu.PivotPerturb
+	default:
+		fatalf("unknown -pivot %q", *pivot)
 	}
 	switch *taskGraph {
 	case "eforest":
@@ -99,7 +111,10 @@ func main() {
 	tFactor := time.Since(t0)
 	fmt.Printf("numeric factorization (%d workers): %v\n", *workers, tFactor.Round(time.Millisecond))
 	if f.Singular() {
-		fatalf("matrix is numerically singular")
+		fatalf("matrix is numerically singular (first zero pivot at column %d); retry with -pivot=perturb -refine=3", f.SingularColumn())
+	}
+	if np := f.PivotPerturbations(); np > 0 {
+		fmt.Printf("pivot perturbations: %d (threshold %.3g); use -refine to recover accuracy\n", np, f.PivotThreshold())
 	}
 
 	if rec != nil {
@@ -136,6 +151,9 @@ func main() {
 		fmt.Printf("pivot growth: %.3g\n", f.PivotGrowth())
 		sign, logAbs := f.LogDet()
 		fmt.Printf("log|det A| = %.6g (sign %+g)\n", logAbs, sign)
+		if cols := f.PerturbedColumns(); len(cols) > 0 {
+			fmt.Printf("perturbed pivot columns: %v\n", cols)
+		}
 	}
 }
 

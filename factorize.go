@@ -1,12 +1,32 @@
 package sparselu
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/ordering"
 	"repro/internal/supernode"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
 )
+
+// ErrSingular is returned by the solve methods when the factorization
+// met an exactly zero pivot under PivotFail. Use errors.As with
+// *SingularError to recover the failing column.
+var ErrSingular = core.ErrNumericallySingular
+
+// SingularError is the structured form of ErrSingular, carrying the
+// original column index of the first zero pivot.
+type SingularError = core.SingularError
+
+// ErrNonFinite is wrapped by factorization failures caused by NaN or
+// Inf appearing in the factors; the parallel execution is canceled as
+// soon as a kernel detects one.
+var ErrNonFinite = core.ErrNonFinite
+
+// ErrDeadlineExceeded is the cancellation cause when Options.Timeout
+// expires before the numeric phase completes.
+var ErrDeadlineExceeded = core.ErrDeadlineExceeded
 
 // Ordering selects the fill-reducing column ordering.
 type Ordering int
@@ -19,6 +39,25 @@ const (
 	NaturalOrder
 	// RCM runs reverse Cuthill–McKee on the pattern of AᵀA.
 	RCM
+)
+
+// PivotPolicy selects the numeric response to a pivot that the static
+// row set of a panel cannot stabilize: static symbolic factorization
+// admits no row exchanges outside each panel's fixed row set, so a
+// tiny or zero pivot cannot be exchanged away.
+type PivotPolicy int
+
+const (
+	// PivotFail (default) preserves the strict contract: a zero pivot
+	// completes the factorization with Singular() set, and the solve
+	// methods return a *SingularError naming the first affected column.
+	PivotFail PivotPolicy = iota
+	// PivotPerturb replaces any pivot with |u_kk| < √ε·‖A‖∞ by
+	// ±√ε·‖A‖∞ (sign-preserving), the SuperLU_DIST strategy: the
+	// factorization always completes and SolveRefined recovers the
+	// lost accuracy. PivotPerturbations/PerturbedColumns report what
+	// was touched.
+	PivotPerturb
 )
 
 // TaskGraph selects the dependence structure driving the parallel
@@ -69,6 +108,14 @@ type Options struct {
 	// analysis and export functions of internal/trace. The recorder must
 	// have at least Workers buffers; nil disables tracing.
 	Trace *trace.Recorder
+	// PivotPolicy selects how pivots below the static threshold are
+	// handled (default PivotFail).
+	PivotPolicy PivotPolicy
+	// Timeout bounds the wall-clock duration of the parallel numeric
+	// phase. When it expires the workers stop claiming tasks (one
+	// atomic check per task claim) and factorization returns an error
+	// wrapping ErrDeadlineExceeded. Zero means no limit.
+	Timeout time.Duration
 }
 
 // DefaultOptions returns the paper's configuration: minimum degree,
@@ -111,6 +158,8 @@ func (o *Options) toCore() *core.Options {
 		Equilibrate: o.Equilibrate,
 		Verify:      o.Verify,
 		Trace:       o.Trace,
+		PivotPolicy: core.PivotPolicy(o.PivotPolicy),
+		Timeout:     o.Timeout,
 	}
 }
 
@@ -247,6 +296,22 @@ func (f *Factorization) PivotGrowth() float64 {
 
 // Singular reports whether the factorization hit an exactly zero pivot.
 func (f *Factorization) Singular() bool { return f.f.Singular() }
+
+// SingularColumn returns the original column index of the first zero
+// pivot under PivotFail, or -1 when the factorization is not singular.
+func (f *Factorization) SingularColumn() int { return f.f.SingularColumn() }
+
+// PivotPerturbations returns the number of pivots replaced by the
+// static perturbation under PivotPerturb (always 0 under PivotFail).
+func (f *Factorization) PivotPerturbations() int { return f.f.PivotPerturbations() }
+
+// PerturbedColumns returns the original column indices whose pivots
+// were perturbed, in ascending order (nil when none were).
+func (f *Factorization) PerturbedColumns() []int { return f.f.PerturbedColumns() }
+
+// PivotThreshold returns the magnitude √ε·‖A‖∞ below which pivots are
+// perturbed under PivotPerturb (0 under PivotFail).
+func (f *Factorization) PivotThreshold() float64 { return f.f.PivotThreshold() }
 
 // Residual returns the scaled backward error ‖A·x − b‖∞ / (‖A‖∞‖x‖∞ +
 // ‖b‖∞).

@@ -5,6 +5,7 @@ package sparselu
 // run exercises them (a few seconds).
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -59,6 +60,77 @@ func TestFullSizeOrsreg1(t *testing.T) {
 	}
 	if g := f.PivotGrowth(); g <= 0 || g > 1e6 {
 		t.Fatalf("pivot growth %g", g)
+	}
+}
+
+// TestNearSingularPolicies pins the public robustness contract on a
+// near-singular system (one exactly zero column, two columns scaled to
+// ~1e-13·‖A‖∞): under PivotFail the solve reports ErrSingular with the
+// failing column attached, while PivotPerturb plus a few refinement
+// steps recovers a solution to near machine precision.
+func TestNearSingularPolicies(t *testing.T) {
+	a, zeroCol, _ := matgen.NearSingular(16, 16, 7)
+	m := WrapCSC(a)
+	n := m.Order()
+	rng := rand.New(rand.NewSource(3))
+	xtrue := make([]float64, n)
+	for i := range xtrue {
+		xtrue[i] = 1 + rng.Float64()
+	}
+	b := make([]float64, n)
+	a.MulVec(xtrue, b)
+
+	// Strict policy: factorization completes, Singular is set, and the
+	// solve fails with the structured error naming the zero column.
+	fail, err := Factorize(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fail.Singular() {
+		t.Fatal("PivotFail: singular matrix not flagged")
+	}
+	if got := fail.SingularColumn(); got != zeroCol {
+		t.Fatalf("PivotFail: singular column %d, want %d", got, zeroCol)
+	}
+	if _, err := fail.Solve(b); !errors.Is(err, ErrSingular) {
+		t.Fatalf("PivotFail: Solve err = %v, want ErrSingular", err)
+	}
+	var se *SingularError
+	if _, err := fail.Solve(b); !errors.As(err, &se) || se.Col != zeroCol {
+		t.Fatalf("PivotFail: Solve err = %v, want *SingularError{Col: %d}", err, zeroCol)
+	}
+
+	// Perturbation policy: the same system factors cleanly, reports the
+	// touched columns, and iterative refinement restores the accuracy.
+	opts := DefaultOptions()
+	opts.PivotPolicy = PivotPerturb
+	opts.Workers = 4
+	pert, err := Factorize(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pert.Singular() {
+		t.Fatal("PivotPerturb: factorization still flagged singular")
+	}
+	if pert.PivotPerturbations() == 0 {
+		t.Fatal("PivotPerturb: no perturbations recorded on a singular system")
+	}
+	cols := pert.PerturbedColumns()
+	found := false
+	for _, c := range cols {
+		if c == zeroCol {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("PivotPerturb: perturbed columns %v miss the zero column %d", cols, zeroCol)
+	}
+	_, berr, _, err := pert.SolveRefined(b, 3, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if berr > 1e-10 {
+		t.Fatalf("PivotPerturb: backward error %g after refinement, want ≤ 1e-10", berr)
 	}
 }
 

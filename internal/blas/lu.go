@@ -28,11 +28,34 @@ func Dlaswp(n int, a []float64, lda int, ipiv []int) {
 // factorization still completes the remaining columns, matching LAPACK's
 // info convention loosely).
 func Dgetf2(m, n int, a []float64, lda int, ipiv []int) error {
+	if _, firstZero := Dgetf2Static(m, n, a, lda, ipiv, 0); firstZero >= 0 {
+		return ErrSingular
+	}
+	return nil
+}
+
+// Dgetf2Static is the panel kernel of the static-pivoting factorization:
+// the same in-place LU with partial pivoting as Dgetf2, but with the two
+// degradation policies of a solver that cannot exchange rows outside the
+// panel's static row set.
+//
+// With thresh <= 0 (fail mode) an exactly zero pivot column is skipped —
+// the factorization completes the remaining columns — and firstZero
+// reports the first (lowest) panel-local column whose pivot was exactly
+// zero, or -1 if none was.
+//
+// With thresh > 0 (perturbation mode, SuperLU_DIST style) a pivot whose
+// magnitude falls below thresh is replaced by ±thresh, preserving its
+// sign (an exact zero becomes +thresh), so the factorization never
+// fails; the panel-local indices of the perturbed columns are returned
+// in ascending order and firstZero is always -1. Callers are expected to
+// recover the lost accuracy with iterative refinement.
+func Dgetf2Static(m, n int, a []float64, lda int, ipiv []int, thresh float64) (perturbed []int, firstZero int) {
 	mn := m
 	if n < mn {
 		mn = n
 	}
-	var singular bool
+	firstZero = -1
 	for j := 0; j < mn; j++ {
 		// Find pivot in column j, rows j..m-1.
 		p := j
@@ -43,14 +66,28 @@ func Dgetf2(m, n int, a []float64, lda int, ipiv []int) error {
 			}
 		}
 		ipiv[j] = p
-		if best == 0 {
-			singular = true
+		if best == 0 && thresh <= 0 {
+			if firstZero < 0 {
+				firstZero = j
+			}
 			continue
 		}
 		if p != j {
 			Dswap(n, a[j*lda:], 1, a[p*lda:], 1)
 		}
 		piv := a[j*lda+j]
+		if thresh > 0 && math.Abs(piv) < thresh {
+			// Sign-preserving static perturbation: a tiny pivot cannot be
+			// exchanged away (the row set is fixed), so bump it to the
+			// threshold instead of failing.
+			if math.Signbit(piv) {
+				piv = -thresh
+			} else {
+				piv = thresh
+			}
+			a[j*lda+j] = piv
+			perturbed = append(perturbed, j)
+		}
 		inv := 1 / piv
 		for i := j + 1; i < m; i++ {
 			lij := a[i*lda+j] * inv
@@ -65,10 +102,7 @@ func Dgetf2(m, n int, a []float64, lda int, ipiv []int) error {
 			}
 		}
 	}
-	if singular {
-		return ErrSingular
-	}
-	return nil
+	return perturbed, firstZero
 }
 
 // Dgetrf computes a blocked LU factorization with partial pivoting of an

@@ -15,11 +15,41 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/ordering"
+	"repro/internal/sched"
 	"repro/internal/supernode"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
 )
+
+// PivotPolicy selects the numeric response to a pivot that the static
+// row set of a panel cannot stabilize (the premise of the static
+// symbolic factorization is that no row exchanges happen outside it).
+type PivotPolicy int
+
+const (
+	// PivotFail preserves the historical contract: an exactly zero
+	// pivot column is skipped, the factorization completes, Singular()
+	// reports true, and the solve paths return a *SingularError naming
+	// the first affected column.
+	PivotFail PivotPolicy = iota
+	// PivotPerturb is the graceful path of production static-pivoting
+	// solvers (SuperLU_DIST style): a pivot with |u_kk| < √ε·‖A‖∞ is
+	// replaced by ±√ε·‖A‖∞, preserving its sign, so the factorization
+	// never fails on tiny pivots; the lost accuracy is recovered with
+	// SolveRefined and reported by PivotPerturbations/PerturbedColumns.
+	PivotPerturb
+)
+
+// String names the policy for flags and diagnostics.
+func (p PivotPolicy) String() string {
+	if p == PivotPerturb {
+		return "perturb"
+	}
+	return "fail"
+}
 
 // Options configures the analysis and factorization.
 type Options struct {
@@ -51,6 +81,20 @@ type Options struct {
 	// phase. The recorder must have at least Workers buffers. Nil (the
 	// default) disables tracing at the cost of one branch per task.
 	Trace *trace.Recorder
+	// PivotPolicy selects how tiny pivots are handled (default
+	// PivotFail, the historical flag-and-continue contract).
+	PivotPolicy PivotPolicy
+	// Timeout bounds the wall-clock duration of the parallel numeric
+	// phase; when it expires the workers stop claiming tasks and
+	// factorization returns an error wrapping ErrDeadlineExceeded.
+	// Zero (the default) means no limit.
+	Timeout time.Duration
+	// Cancel optionally connects the numeric phase to an external
+	// cancellation signal: tripping the canceler makes factorization
+	// return a *sched.CancelError. The same canceler may be shared by
+	// several executions, in which case the first failure anywhere
+	// cancels them all.
+	Cancel *sched.Canceler
 }
 
 // DefaultOptions returns the configuration used for the paper's headline

@@ -20,7 +20,7 @@ func (f *Factorization) SolveTranspose(b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("core: rhs has length %d, want %d", len(b), f.S.N)
 	}
 	if f.Singular() {
-		return nil, ErrNumericallySingular
+		return nil, f.singularError()
 	}
 	// With equilibration, (R·A₂·C)ᵀ·z = C·P_sym b and x comes back as
 	// P_rᵀP_cᵀ(R·z).
@@ -233,7 +233,7 @@ func permSign(p sparse.Perm) float64 {
 // (at most five iterations, like LAPACK's xGECON).
 func (f *Factorization) CondEstimate1(a *sparse.CSC) (float64, error) {
 	if f.Singular() {
-		return math.Inf(1), ErrNumericallySingular
+		return math.Inf(1), f.singularError()
 	}
 	n := f.S.N
 	x := make([]float64, n)

@@ -3,7 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/blas"
 	"repro/internal/sched"
@@ -15,6 +18,36 @@ import (
 // ErrNumericallySingular is returned when a panel factorization meets an
 // exactly zero pivot column.
 var ErrNumericallySingular = errors.New("core: matrix is numerically singular")
+
+// ErrNonFinite is wrapped by the task failure that aborts a
+// factorization whose kernels produced a NaN or an Inf: once a
+// non-finite value enters the factors every downstream task is wasted
+// work, so the executor cancels promptly instead of completing the DAG.
+var ErrNonFinite = errors.New("core: non-finite value in factorization")
+
+// ErrDeadlineExceeded is the cancellation cause installed when
+// Options.Timeout expires before the numeric phase completes.
+var ErrDeadlineExceeded = errors.New("core: factorization deadline exceeded")
+
+// SingularError reports numeric singularity with the first affected
+// column attached, in the original (unpermuted) column numbering. It
+// matches errors.Is(err, ErrNumericallySingular).
+type SingularError struct {
+	// Col is the original column index of the first zero pivot, or -1
+	// when it is unknown.
+	Col int
+}
+
+// Error formats the failure with the column attached.
+func (e *SingularError) Error() string {
+	if e.Col < 0 {
+		return ErrNumericallySingular.Error()
+	}
+	return fmt.Sprintf("%v: no pivot at column %d", ErrNumericallySingular, e.Col)
+}
+
+// Unwrap exposes the ErrNumericallySingular sentinel to errors.Is.
+func (e *SingularError) Unwrap() error { return ErrNumericallySingular }
 
 // blockCol is the dense stacked storage of one block column: all of its
 // structurally present blocks concatenated by ascending block row, each
@@ -48,10 +81,88 @@ type Factorization struct {
 	// the factored matrix is R·A₂·C in the permuted index space.
 	rscale, cscale []float64
 	singular       atomic.Bool
+	// badCol is the smallest permuted global column index whose pivot
+	// was exactly zero under PivotFail, or -1. Factor tasks of distinct
+	// panels race to publish it, so it is kept as a CAS minimum.
+	badCol atomic.Int64
+	// policy and pivotTol freeze the pivot handling for this
+	// factorization: pivotTol is √ε·‖A₂‖∞ of the matrix actually
+	// factored (post permutation and scaling), 0 under PivotFail.
+	policy   PivotPolicy
+	pivotTol float64
+	// perturbed[K] lists the permuted global columns of panel K whose
+	// pivots were replaced (written only by task F(K), read after the
+	// execution's completion barrier).
+	perturbed [][]int
 }
 
 // Singular reports whether any panel hit an exactly zero pivot.
 func (f *Factorization) Singular() bool { return f.singular.Load() }
+
+// noteSingular flags the factorization singular and folds the permuted
+// global column col into the minimum published by racing Factor tasks.
+func (f *Factorization) noteSingular(col int) {
+	f.singular.Store(true)
+	for {
+		cur := f.badCol.Load()
+		if cur >= 0 && cur <= int64(col) {
+			return
+		}
+		if f.badCol.CompareAndSwap(cur, int64(col)) {
+			return
+		}
+	}
+}
+
+// SingularColumn returns the original (unpermuted) column index of the
+// first zero pivot, or -1 when the factorization is not singular. "First"
+// means the smallest column index in the factored (permuted) ordering,
+// which is deterministic across worker counts.
+func (f *Factorization) SingularColumn() int {
+	pc := f.badCol.Load()
+	if pc < 0 {
+		return -1
+	}
+	return f.S.SymPerm.Inverse()[pc]
+}
+
+// singularError builds the error the solve paths return on a singular
+// factorization.
+func (f *Factorization) singularError() error {
+	return &SingularError{Col: f.SingularColumn()}
+}
+
+// PivotPerturbations returns the number of pivots replaced by the
+// static perturbation of PivotPerturb (0 under PivotFail).
+func (f *Factorization) PivotPerturbations() int {
+	n := 0
+	for _, cols := range f.perturbed {
+		n += len(cols)
+	}
+	return n
+}
+
+// PerturbedColumns returns the original (unpermuted) column indices of
+// the perturbed pivots in ascending order, or nil when none were.
+func (f *Factorization) PerturbedColumns() []int {
+	n := f.PivotPerturbations()
+	if n == 0 {
+		return nil
+	}
+	inv := f.S.SymPerm.Inverse()
+	out := make([]int, 0, n)
+	for _, cols := range f.perturbed {
+		for _, pc := range cols {
+			out = append(out, inv[pc])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PivotThreshold returns the pivot-magnitude threshold √ε·‖A₂‖∞ used by
+// this factorization (0 under PivotFail).
+func (f *Factorization) PivotThreshold() float64 { return f.pivotTol }
 
 // Factorize runs analysis and numeric factorization in one call.
 func Factorize(a *sparse.CSC, opts *Options) (*Factorization, error) {
@@ -76,10 +187,28 @@ func FactorizeWith(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sched.ExecuteTraced(s.Graph, owner, workers, prio, s.Opts.Trace, f.runTask); err != nil {
+	cancel, stop := numericCanceler(s.Opts)
+	defer stop()
+	if err := sched.ExecuteCancelable(s.Graph, owner, workers, prio, s.Opts.Trace, cancel, f.runTask); err != nil {
 		return nil, err
 	}
 	return f, nil
+}
+
+// numericCanceler resolves the cancellation signal of the numeric
+// phase: the caller's canceler (if any), with the Timeout deadline armed
+// on it. The returned stop func disarms the deadline timer; callers must
+// invoke it once the execution returns.
+func numericCanceler(opts Options) (*sched.Canceler, func()) {
+	cancel := opts.Cancel
+	if opts.Timeout <= 0 {
+		return cancel, func() {}
+	}
+	if cancel == nil {
+		cancel = &sched.Canceler{}
+	}
+	timer := time.AfterFunc(opts.Timeout, func() { cancel.Cancel(ErrDeadlineExceeded) })
+	return cancel, func() { timer.Stop() }
 }
 
 // FactorizeGlobal is FactorizeWith with task-level scheduling: workers
@@ -96,7 +225,9 @@ func FactorizeGlobal(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sched.ExecuteGlobalTraced(s.Graph, s.Opts.Workers, prio, s.Opts.Trace, f.runTask); err != nil {
+	cancel, stop := numericCanceler(s.Opts)
+	defer stop()
+	if err := sched.ExecuteGlobalCancelable(s.Graph, s.Opts.Workers, prio, s.Opts.Trace, cancel, f.runTask); err != nil {
 		return nil, err
 	}
 	return f, nil
@@ -114,7 +245,10 @@ func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 		cols:      make([]blockCol, nb),
 		ipiv:      make([][]int, nb),
 		panelRows: make([][]int, nb),
+		policy:    s.Opts.PivotPolicy,
+		perturbed: make([][]int, nb),
 	}
+	f.badCol.Store(-1)
 	part := s.Part
 	for j := 0; j < nb; j++ {
 		c := &f.cols[j]
@@ -176,6 +310,17 @@ func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 			c.data[off*c.width+lc] = vals[k]
 		}
 	}
+	if f.policy == PivotPerturb {
+		// √ε·‖A₂‖∞ of the matrix actually handed to the kernels, the
+		// SuperLU_DIST threshold. A structurally empty matrix gets a
+		// norm of 1 so the threshold is still positive.
+		const eps = 0x1p-52
+		anorm := ap.NormInf()
+		if anorm == 0 {
+			anorm = 1
+		}
+		f.pivotTol = math.Sqrt(eps) * anorm
+	}
 	return f, nil
 }
 
@@ -195,26 +340,52 @@ func (f *Factorization) rowOffset(c *blockCol, g int) (int, error) {
 func (f *Factorization) runTask(id int) error {
 	t := f.S.Graph.Tasks[id]
 	if t.Kind == taskgraph.Factor {
-		f.factorPanel(t.K)
-		return nil
+		return f.factorPanel(t.K)
 	}
 	return f.update(t.K, t.J)
 }
 
+// firstNonFinite returns the index of the first NaN or Inf in x, or -1.
+func firstNonFinite(x []float64) int {
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
 // factorPanel performs task F(K): dense LU with partial pivoting on the
 // stacked L panel of block column K. Pivoting is confined to the panel's
-// static row set, which the George–Ng structure is closed under.
-func (f *Factorization) factorPanel(k int) {
+// static row set, which the George–Ng structure is closed under. Under
+// PivotFail a zero pivot flags the factorization singular (the panel
+// still completes); under PivotPerturb tiny pivots are replaced by
+// ±pivotTol and recorded. A non-finite panel entry aborts the execution.
+func (f *Factorization) factorPanel(k int) error {
 	c := &f.cols[k]
 	w := c.width
 	po := c.panelOffset()
 	m := c.rows - po
-	panel := c.data[po*w:]
+	panel := c.data[po*w : c.rows*w]
 	ipiv := make([]int, w)
-	if err := blas.Dgetf2(m, w, panel, w, ipiv); err != nil {
-		f.singular.Store(true)
-	}
+	pcols, firstZero := blas.Dgetf2Static(m, w, panel, w, ipiv, f.pivotTol)
 	f.ipiv[k] = ipiv
+	base := f.S.Part.BlockStart[k]
+	if firstZero >= 0 {
+		f.noteSingular(base + firstZero)
+	}
+	if len(pcols) > 0 {
+		cols := make([]int, len(pcols))
+		for i, lc := range pcols {
+			cols[i] = base + lc
+		}
+		f.perturbed[k] = cols
+	}
+	if i := firstNonFinite(panel); i >= 0 {
+		return fmt.Errorf("core: panel %d entry (%d,%d) is %v: %w",
+			k, i/w, i%w, panel[i], ErrNonFinite)
+	}
+	return nil
 }
 
 // update performs task U(K, J): replay panel K's pivot interchanges on
@@ -252,6 +423,14 @@ func (f *Factorization) update(k, j int) error {
 	}
 	bkj := colJ.data[bkjOff*wj:]
 	blas.Dtrsm(true, true, wk, wj, 1, diag, wk, bkj, wj)
+	// Every stored block is either an L-panel block (checked by its
+	// panel's Factor task) or a U block checked here, right after the
+	// only task that finalizes it — so each entry is validated exactly
+	// once and a NaN/Inf aborts the execution promptly.
+	if i := firstNonFinite(bkj[:wk*wj]); i >= 0 {
+		return fmt.Errorf("core: block (%d,%d) entry (%d,%d) is %v after update: %w",
+			k, j, i/wj, i%wj, bkj[i], ErrNonFinite)
+	}
 
 	// 3. B(I,J) ← B(I,J) − L(I,K)·U(K,J) for every sub-diagonal block of
 	// panel K.

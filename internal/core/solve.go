@@ -15,7 +15,7 @@ func (f *Factorization) Solve(b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("core: rhs has length %d, want %d", len(b), f.S.N)
 	}
 	if f.Singular() {
-		return nil, ErrNumericallySingular
+		return nil, f.singularError()
 	}
 	// A x = b  ⇒  (P_sym P_row A P_symᵀ)(P_sym x) = P_sym P_row b.
 	// With equilibration, (R·A₂·C)(C⁻¹·P_sym x) = R·P_sym P_row b.
@@ -92,7 +92,7 @@ func (f *Factorization) solveInPlace(y []float64) {
 // more than a couple. The inputs are not modified.
 func (f *Factorization) SolveMany(bs [][]float64) ([][]float64, error) {
 	if f.Singular() {
-		return nil, ErrNumericallySingular
+		return nil, f.singularError()
 	}
 	nrhs := len(bs)
 	if nrhs == 0 {

@@ -1,0 +1,158 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the parallel numeric phase: it wraps a scheduler task runner and
+// forces panics, errors, NaN poisoning or delays on selected task ids.
+//
+// The injector exists to pin the robustness contract of the executor
+// and the numeric layer under -race stress tests:
+//
+//   - a panicking or erroring task must surface as a *sched.TaskError
+//     naming the task, with no worker claiming another task afterwards;
+//   - NaN poisoning must trip the core layer's non-finite guards;
+//   - with no fault configured the wrapper must be transparent, so the
+//     factorization stays bitwise deterministic.
+//
+// Fault placement is either explicit (Set) or drawn from a seeded
+// generator (PickTasks), never from global randomness, so every failing
+// schedule is replayable from its seed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is wrapped by every injected error and embedded in every
+// injected panic value, so tests can tell deliberate faults from real
+// failures.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Mode selects what an injected fault does to its task.
+type Mode int
+
+const (
+	// None leaves the task untouched.
+	None Mode = iota
+	// Error makes the task fail with an error wrapping ErrInjected
+	// instead of running its body.
+	Error
+	// Panic makes the task panic (with a value mentioning ErrInjected)
+	// instead of running its body, exercising the executor's recover
+	// path.
+	Panic
+	// PoisonNaN runs the task body normally and then invokes the
+	// caller's poison callback, which is expected to overwrite some of
+	// the task's output with NaN — modeling a kernel that silently
+	// produced garbage. Detection is the downstream guards' job.
+	PoisonNaN
+	// Delay sleeps for the fault's Sleep duration before running the
+	// task body, stretching schedules to expose cancellation races.
+	Delay
+)
+
+// String names the mode for test logs.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case PoisonNaN:
+		return "poison-nan"
+	case Delay:
+		return "delay"
+	}
+	return "unknown"
+}
+
+// Fault is one injected behavior, keyed to a task id by Injector.Set.
+type Fault struct {
+	Mode Mode
+	// Sleep is the pre-task delay of a Delay fault.
+	Sleep time.Duration
+}
+
+// Injector holds a fault plan over task ids. Configure it with Set
+// before the execution starts; Wrap and Fired are safe for concurrent
+// use during the execution.
+type Injector struct {
+	faults map[int]Fault
+	fired  atomic.Int64
+}
+
+// New returns an empty injector (all tasks untouched).
+func New() *Injector {
+	return &Injector{faults: make(map[int]Fault)}
+}
+
+// Set plans fault f for task id, replacing any previous plan for it.
+// Must not be called concurrently with a wrapped execution.
+func (in *Injector) Set(id int, f Fault) {
+	if f.Mode == None {
+		delete(in.faults, id)
+		return
+	}
+	in.faults[id] = f
+}
+
+// Fired returns how many faults have triggered so far.
+func (in *Injector) Fired() int { return int(in.fired.Load()) }
+
+// Wrap returns a task runner that injects the planned faults around
+// run. poison is invoked with the task id for PoisonNaN faults after
+// the body succeeds; a nil poison downgrades PoisonNaN to None. With an
+// empty plan the wrapper forwards every call unchanged, adding only one
+// map lookup per task.
+func (in *Injector) Wrap(run func(id int) error, poison func(id int)) func(id int) error {
+	return func(id int) error {
+		f, ok := in.faults[id]
+		if !ok {
+			return run(id)
+		}
+		switch f.Mode {
+		case Error:
+			in.fired.Add(1)
+			return fmt.Errorf("%w: forced error on task %d", ErrInjected, id)
+		case Panic:
+			in.fired.Add(1)
+			panic(fmt.Sprintf("faultinject: forced panic on task %d", id))
+		case Delay:
+			in.fired.Add(1)
+			time.Sleep(f.Sleep)
+			return run(id)
+		case PoisonNaN:
+			err := run(id)
+			if err == nil && poison != nil {
+				in.fired.Add(1)
+				poison(id)
+			}
+			return err
+		}
+		return run(id)
+	}
+}
+
+// PickTasks deterministically selects k distinct task ids from [0, n)
+// using the given seed (k is clamped to n). The same seed always yields
+// the same ids, so a failing stress run is replayable.
+func PickTasks(seed int64, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := rng.Perm(n)[:k]
+	// Sorted output keeps logs readable; determinism comes from the rng.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}

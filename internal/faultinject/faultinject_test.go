@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWrapTransparentWithoutFaults(t *testing.T) {
+	in := New()
+	calls := 0
+	run := in.Wrap(func(id int) error { calls++; return nil }, nil)
+	for id := 0; id < 5; id++ {
+		if err := run(id); err != nil {
+			t.Fatalf("task %d: %v", id, err)
+		}
+	}
+	if calls != 5 || in.Fired() != 0 {
+		t.Fatalf("calls = %d, fired = %d", calls, in.Fired())
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	in := New()
+	in.Set(3, Fault{Mode: Error})
+	ran := false
+	run := in.Wrap(func(id int) error { ran = true; return nil }, nil)
+	err := run(3)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if ran {
+		t.Fatal("body ran despite Error fault")
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("fired = %d", in.Fired())
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New()
+	in.Set(7, Fault{Mode: Panic})
+	run := in.Wrap(func(id int) error { return nil }, nil)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "faultinject") {
+			t.Fatalf("panic value %v does not identify the injector", r)
+		}
+	}()
+	_ = run(7)
+}
+
+func TestPoisonFault(t *testing.T) {
+	in := New()
+	in.Set(2, Fault{Mode: PoisonNaN})
+	poisoned := -1
+	run := in.Wrap(func(id int) error { return nil }, func(id int) { poisoned = id })
+	if err := run(2); err != nil {
+		t.Fatal(err)
+	}
+	if poisoned != 2 {
+		t.Fatalf("poisoned = %d, want 2", poisoned)
+	}
+	// Poison only fires on success.
+	in.Set(4, Fault{Mode: PoisonNaN})
+	boom := errors.New("boom")
+	run = in.Wrap(func(id int) error { return boom }, func(id int) { poisoned = id })
+	if err := run(4); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if poisoned == 4 {
+		t.Fatal("poison fired on a failing task")
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	in := New()
+	in.Set(0, Fault{Mode: Delay, Sleep: 10 * time.Millisecond})
+	start := time.Now()
+	run := in.Wrap(func(id int) error { return nil }, nil)
+	if err := run(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", d)
+	}
+}
+
+func TestSetNoneClears(t *testing.T) {
+	in := New()
+	in.Set(1, Fault{Mode: Error})
+	in.Set(1, Fault{Mode: None})
+	run := in.Wrap(func(id int) error { return nil }, nil)
+	if err := run(1); err != nil {
+		t.Fatalf("cleared fault still fires: %v", err)
+	}
+}
+
+func TestPickTasksDeterministic(t *testing.T) {
+	a := PickTasks(42, 100, 8)
+	b := PickTasks(42, 100, 8)
+	if len(a) != 8 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[int]bool{}
+	for i, id := range a {
+		if id < 0 || id >= 100 {
+			t.Fatalf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		if id != b[i] {
+			t.Fatalf("seed 42 not deterministic: %v vs %v", a, b)
+		}
+		if i > 0 && a[i-1] > id {
+			t.Fatalf("ids not sorted: %v", a)
+		}
+	}
+	if c := PickTasks(43, 100, 8); fmt.Sprint(c) == fmt.Sprint(a) {
+		t.Fatalf("different seeds gave identical picks %v", a)
+	}
+	if got := PickTasks(1, 3, 10); len(got) != 3 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+	if got := PickTasks(1, 3, 0); got != nil {
+		t.Fatalf("k=0 gave %v", got)
+	}
+}

@@ -29,6 +29,23 @@ import (
 // ErrSingular is returned when no nonzero pivot exists for some column.
 var ErrSingular = errors.New("gplu: matrix is numerically singular")
 
+// SingularError reports the first column without an admissible pivot,
+// in the original (unpermuted) column numbering — the same contract as
+// the core layer's SingularError, pinned by a shared parity test. It
+// matches errors.Is(err, ErrSingular).
+type SingularError struct {
+	// Col is the original column index of the first failed pivot.
+	Col int
+}
+
+// Error formats the failure with the column attached.
+func (e *SingularError) Error() string {
+	return fmt.Sprintf("%v: no pivot at column %d", ErrSingular, e.Col)
+}
+
+// Unwrap exposes the ErrSingular sentinel to errors.Is.
+func (e *SingularError) Unwrap() error { return ErrSingular }
+
 // Factorization holds the factors of P·A·Qᵀ = L·U computed with dynamic
 // symbolic structure: L is unit lower triangular, U upper triangular,
 // both in the pivot ordering.
@@ -137,7 +154,9 @@ func Factor(a *sparse.CSC, colPerm sparse.Perm) (*Factorization, error) {
 			for _, i := range pattern {
 				visited[i] = false
 			}
-			return nil, fmt.Errorf("%w: no pivot at column %d", ErrSingular, j)
+			// Report the failing column in the original numbering
+			// (column j of A·Qᵀ came from column q with colPerm[q] = j).
+			return nil, &SingularError{Col: colPerm.Inverse()[j]}
 		}
 		pinv[pivRow] = j
 		f.RowPerm[pivRow] = j

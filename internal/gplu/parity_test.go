@@ -1,0 +1,104 @@
+package gplu_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gplu"
+	"repro/internal/sparse"
+)
+
+// zeroColumnMatrix builds an n×n diagonally dominant tridiagonal matrix
+// whose column bad is structurally intact but exactly zero-valued. A
+// zero column stays exactly zero through Gaussian elimination under any
+// row/column permutation, so both solvers must fail at that column —
+// in the original numbering.
+func zeroColumnMatrix(n, bad int) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	add := func(i, j int, v float64) {
+		if j == bad {
+			v = 0
+		}
+		t.Add(i, j, v)
+	}
+	for i := 0; i < n; i++ {
+		add(i, i, 4+float64(i%3))
+		if i+1 < n {
+			add(i, i+1, -1-float64(i%2))
+			add(i+1, i, -1.5)
+		}
+	}
+	return t.ToCSC()
+}
+
+// TestSingularityContractParity pins the shared contract of the dynamic
+// (gplu) and static (core) factorizations on a numerically singular
+// matrix: both identify the same failing column, in the original
+// column numbering, through their respective structured errors.
+func TestSingularityContractParity(t *testing.T) {
+	const n, bad = 8, 5
+	a := zeroColumnMatrix(n, bad)
+
+	// Dynamic GP factorization fails outright, naming the column.
+	_, err := gplu.Factor(a, sparse.Identity(n))
+	if !errors.Is(err, gplu.ErrSingular) {
+		t.Fatalf("gplu err = %v, want ErrSingular", err)
+	}
+	var ge *gplu.SingularError
+	if !errors.As(err, &ge) {
+		t.Fatalf("gplu err = %v, want *gplu.SingularError", err)
+	}
+	if ge.Col != bad {
+		t.Fatalf("gplu failing column = %d, want %d", ge.Col, bad)
+	}
+
+	// Static factorization completes with the singular flag set and
+	// names the same column at solve time, whatever the fill-reducing
+	// permutation did to the column order internally.
+	for _, workers := range []int{1, 4} {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		f, err := core.Factorize(a, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !f.Singular() {
+			t.Fatalf("workers=%d: singular matrix not flagged", workers)
+		}
+		if got := f.SingularColumn(); got != bad {
+			t.Fatalf("workers=%d: core failing column = %d, want %d", workers, got, bad)
+		}
+		_, err = f.Solve(make([]float64, n))
+		if !errors.Is(err, core.ErrNumericallySingular) {
+			t.Fatalf("workers=%d: Solve err = %v", workers, err)
+		}
+		var ce *core.SingularError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: Solve err = %v, want *core.SingularError", workers, err)
+		}
+		if ce.Col != ge.Col {
+			t.Fatalf("contract mismatch: gplu column %d, core column %d", ge.Col, ce.Col)
+		}
+	}
+}
+
+// TestGpluSingularWithColPerm checks the column report stays in the
+// original numbering when a fill-reducing permutation is supplied.
+func TestGpluSingularWithColPerm(t *testing.T) {
+	const n, bad = 8, 5
+	a := zeroColumnMatrix(n, bad)
+	// Reverse permutation: column bad moves to position n-1-bad.
+	p := make(sparse.Perm, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	_, err := gplu.Factor(a, p)
+	var ge *gplu.SingularError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *gplu.SingularError", err)
+	}
+	if ge.Col != bad {
+		t.Fatalf("failing column = %d under permutation, want %d", ge.Col, bad)
+	}
+}

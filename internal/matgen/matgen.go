@@ -297,6 +297,50 @@ func fem2D(nx, ny int, seed int64) *sparse.CSC {
 	return t.ToCSC()
 }
 
+// NearSingular builds a deterministic matrix that is structurally
+// healthy (full structural rank, every diagonal present) but
+// numerically pathological for static pivoting: the values of column
+// zeroCol are all exactly zero — a zero column stays exactly zero
+// through elimination, so some pivot is exactly zero under every
+// ordering — and the columns in tinyCols are scaled to ~1e-13 of the
+// operator's natural magnitude, pushing their pivots below the static
+// perturbation threshold √ε·‖A‖∞.
+//
+// Under PivotFail the factorization flags singularity; under
+// PivotPerturb it completes and iterative refinement on a consistent
+// right-hand side recovers a small backward error. The explicit zeros
+// keep the sparsity pattern intact, so the symbolic phase sees the same
+// structure either way.
+func NearSingular(nx, ny int, seed int64) (a *sparse.CSC, zeroCol int, tinyCols []int) {
+	base := convDiff2D(nx, ny, false, seed)
+	n := base.NCols
+	zeroCol = n / 2
+	tinyCols = []int{n / 4, (3 * n) / 4}
+	isTiny := func(j int) bool {
+		for _, c := range tinyCols {
+			if c == j {
+				return true
+			}
+		}
+		return false
+	}
+	t := sparse.NewTriplet(n, n)
+	for j := 0; j < n; j++ {
+		rows, vals := base.Col(j)
+		scale := 1.0
+		switch {
+		case j == zeroCol:
+			scale = 0
+		case isTiny(j):
+			scale = 1e-13
+		}
+		for k, i := range rows {
+			t.Add(i, j, vals[k]*scale)
+		}
+	}
+	return t.ToCSC(), zeroCol, tinyCols
+}
+
 func absf(v float64) float64 {
 	if v < 0 {
 		return -v

@@ -207,3 +207,66 @@ func TestSuiteAgainstTransversalAndPerm(t *testing.T) {
 		_ = sparse.PatternOf(a)
 	}
 }
+
+func TestNearSingularShape(t *testing.T) {
+	a, zeroCol, tinyCols := NearSingular(10, 12, 3)
+	if a.NRows != 120 || a.NCols != 120 {
+		t.Fatalf("order %d×%d, want 120×120", a.NRows, a.NCols)
+	}
+	// Structural rank is preserved: every diagonal entry is present.
+	for j := 0; j < a.NCols; j++ {
+		rows, _ := a.Col(j)
+		found := false
+		for _, i := range rows {
+			if i == j {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("diagonal (%d,%d) structurally absent", j, j)
+		}
+	}
+	// The zero column is structurally present but exactly zero-valued.
+	rows, vals := a.Col(zeroCol)
+	if len(rows) == 0 {
+		t.Fatalf("zero column %d lost its structure", zeroCol)
+	}
+	for k, v := range vals {
+		if v != 0 {
+			t.Fatalf("zero column %d has value %g at row %d", zeroCol, v, rows[k])
+		}
+	}
+	// Tiny columns are nonzero but far below the matrix norm.
+	norm := a.NormInf()
+	for _, j := range tinyCols {
+		_, vals := a.Col(j)
+		maxAbs := 0.0
+		for _, v := range vals {
+			if av := absf(v); av > maxAbs {
+				maxAbs = av
+			}
+		}
+		if maxAbs == 0 {
+			t.Fatalf("tiny column %d is exactly zero", j)
+		}
+		if maxAbs > 1e-10*norm {
+			t.Fatalf("tiny column %d max %g not tiny vs ‖A‖∞ = %g", j, maxAbs, norm)
+		}
+	}
+}
+
+func TestNearSingularDeterministic(t *testing.T) {
+	a, za, ta := NearSingular(8, 9, 7)
+	b, zb, tb := NearSingular(8, 9, 7)
+	if za != zb || len(ta) != len(tb) {
+		t.Fatal("metadata differs between identical calls")
+	}
+	if len(a.Val) != len(b.Val) {
+		t.Fatal("nnz differs between identical calls")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] || a.RowInd[k] != b.RowInd[k] {
+			t.Fatalf("entry %d differs", k)
+		}
+	}
+}

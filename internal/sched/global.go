@@ -1,9 +1,7 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
-	"sync"
 
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
@@ -28,7 +26,7 @@ import (
 // run, or a panic in the task body — stops the execution and is
 // returned as a *TaskError carrying the task id.
 func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id int) error) error {
-	return ExecuteGlobalTraced(g, procs, prio, nil, run)
+	return ExecuteGlobalCancelable(g, procs, prio, nil, nil, run)
 }
 
 // ExecuteGlobalTraced is ExecuteGlobal with an optional event recorder:
@@ -36,6 +34,15 @@ func ExecuteGlobal(g *taskgraph.Graph, procs int, prio []float64, run func(id in
 // id, kind, destination column and start/stop timestamps. A nil rec
 // costs one predictable branch per task.
 func ExecuteGlobalTraced(g *taskgraph.Graph, procs int, prio []float64, rec *trace.Recorder, run func(id int) error) error {
+	return ExecuteGlobalCancelable(g, procs, prio, rec, nil, run)
+}
+
+// ExecuteGlobalCancelable is ExecuteGlobalTraced with an optional
+// external cancel signal, with the same contract as ExecuteCancelable:
+// a tripped Canceler stops workers from claiming tasks (one atomic load
+// per claim) and the call returns a *CancelError; the first task failure
+// trips the canceler itself. A nil cancel behaves like ExecuteGlobal.
+func ExecuteGlobalCancelable(g *taskgraph.Graph, procs int, prio []float64, rec *trace.Recorder, cancel *Canceler, run func(id int) error) error {
 	if procs < 1 {
 		return fmt.Errorf("sched: procs = %d", procs)
 	}
@@ -49,79 +56,11 @@ func ExecuteGlobalTraced(g *taskgraph.Graph, procs int, prio []float64, rec *tra
 			return err
 		}
 	}
-	indeg := g.InDegrees()
-
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
-	queue := priorityQueue{prio: prio}
-	remaining := g.NumTasks()
-	var firstErr *TaskError
-
-	mu.Lock()
-	for id, d := range indeg {
-		if d == 0 {
-			heap.Push(&queue, id)
-		}
-	}
-	mu.Unlock()
-
-	var wg sync.WaitGroup
-	for p := 0; p < procs; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				for queue.Len() == 0 && remaining > 0 && firstErr == nil {
-					cond.Wait()
-				}
-				if remaining == 0 || firstErr != nil {
-					mu.Unlock()
-					return
-				}
-				id := heap.Pop(&queue).(int)
-				mu.Unlock()
-
-				var err error
-				if rec != nil {
-					start := rec.Now()
-					err = safeRun(run, id)
-					kind, col := traceKindCol(&g.Tasks[id])
-					rec.Record(p, id, kind, col, start)
-				} else {
-					err = safeRun(run, id)
-				}
-
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = &TaskError{ID: id, Task: g.Tasks[id].String(), Err: err}
-					}
-					cond.Broadcast()
-					mu.Unlock()
-					return
-				}
-				if firstErr != nil {
-					mu.Unlock()
-					return
-				}
-				remaining--
-				for _, s := range g.Succ[id] {
-					indeg[s]--
-					if indeg[s] == 0 {
-						heap.Push(&queue, int(s))
-					}
-				}
-				cond.Broadcast()
-				mu.Unlock()
-			}
-		}(p)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return nil
+	queue := &priorityQueue{prio: prio}
+	return executeWorkers(g, procs, rec, cancel,
+		func(int) *priorityQueue { return queue },
+		func(int) *priorityQueue { return queue },
+		run)
 }
 
 // SimulateGlobal performs deterministic task-level list scheduling of

@@ -158,7 +158,7 @@ func (q *priorityQueue) Pop() any {
 // run, or a panic in the task body — stops the execution and is
 // returned as a *TaskError carrying the task id.
 func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, run func(id int) error) error {
-	return ExecuteTraced(g, owner, procs, prio, nil, run)
+	return ExecuteCancelable(g, owner, procs, prio, nil, nil, run)
 }
 
 // ExecuteTraced is Execute with an optional event recorder: when rec is
@@ -166,6 +166,17 @@ func Execute(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, ru
 // destination column and start/stop timestamps. A nil rec costs one
 // predictable branch per task.
 func ExecuteTraced(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, rec *trace.Recorder, run func(id int) error) error {
+	return ExecuteCancelable(g, owner, procs, prio, rec, nil, run)
+}
+
+// ExecuteCancelable is ExecuteTraced with an optional external cancel
+// signal: when the Canceler trips (a caller-side deadline, a failure in
+// a sibling execution), workers stop claiming new tasks — the check is
+// one atomic load per task claim — and the call returns a *CancelError
+// matching errors.Is(err, ErrCanceled). The first task failure also
+// trips the canceler, so failure latency is O(one running task body)
+// instead of O(the remaining DAG). A nil cancel behaves like Execute.
+func ExecuteCancelable(g *taskgraph.Graph, owner Assignment, procs int, prio []float64, rec *trace.Recorder, cancel *Canceler, run func(id int) error) error {
 	if procs < 1 {
 		return fmt.Errorf("sched: procs = %d", procs)
 	}
@@ -180,22 +191,54 @@ func ExecuteTraced(g *taskgraph.Graph, owner Assignment, procs int, prio []float
 		}
 	}
 	taskOwner := TaskOwners(g, owner)
-	indeg := g.InDegrees()
-
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
 	queues := make([]priorityQueue, procs)
 	for p := range queues {
 		queues[p].prio = prio
 	}
+	return executeWorkers(g, procs, rec, cancel,
+		func(p int) *priorityQueue { return &queues[p] },
+		func(id int) *priorityQueue { return &queues[taskOwner[id]] },
+		run)
+}
+
+// executeWorkers is the worker engine shared by the owner-mapped and
+// task-level executors: the two differ only in which ready queue a
+// worker pops (workerQueue) and which queue a newly ready task joins
+// (queueFor) — per-worker queues under the 1-D mapping, one shared
+// queue for task-level scheduling. Both queue funcs are called with the
+// engine mutex held.
+//
+// The engine always runs with a Canceler (allocating a private one when
+// the caller passed nil) so the claim loop is branch-free about it: one
+// atomic flag load per task claim, tripped by the first task error or
+// by an external Cancel, bounds failure latency to the task bodies
+// already running.
+func executeWorkers(g *taskgraph.Graph, procs int, rec *trace.Recorder, cancel *Canceler,
+	workerQueue func(p int) *priorityQueue, queueFor func(id int) *priorityQueue, run func(id int) error) error {
+	indeg := g.InDegrees()
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
 	remaining := g.NumTasks()
+	completed := 0
 	var firstErr *TaskError
+
+	if cancel == nil {
+		cancel = &Canceler{}
+	}
+	// Wake workers sleeping on the condition variable when an external
+	// Cancel trips the flag; deregistered before returning so a later
+	// deadline firing cannot touch a finished execution.
+	defer cancel.subscribe(func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	})()
 
 	mu.Lock()
 	for id, d := range indeg {
 		if d == 0 {
-			q := &queues[taskOwner[id]]
-			heap.Push(q, id)
+			heap.Push(queueFor(id), id)
 		}
 	}
 	mu.Unlock()
@@ -205,16 +248,17 @@ func ExecuteTraced(g *taskgraph.Graph, owner Assignment, procs int, prio []float
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			q := workerQueue(p)
 			for {
 				mu.Lock()
-				for queues[p].Len() == 0 && remaining > 0 && firstErr == nil {
+				for q.Len() == 0 && remaining > 0 && firstErr == nil && !cancel.flag.Load() {
 					cond.Wait()
 				}
-				if remaining == 0 || firstErr != nil {
+				if remaining == 0 || firstErr != nil || cancel.flag.Load() {
 					mu.Unlock()
 					return
 				}
-				id := heap.Pop(&queues[p]).(int)
+				id := heap.Pop(q).(int)
 				mu.Unlock()
 
 				var err error
@@ -223,28 +267,37 @@ func ExecuteTraced(g *taskgraph.Graph, owner Assignment, procs int, prio []float
 					err = safeRun(run, id)
 					kind, col := traceKindCol(&g.Tasks[id])
 					rec.Record(p, id, kind, col, start)
+					if err != nil {
+						rec.Record(p, id, trace.KindAbort, col, rec.Now())
+					}
 				} else {
 					err = safeRun(run, id)
 				}
 
-				mu.Lock()
 				if err != nil {
+					te := &TaskError{ID: id, Task: g.Tasks[id].String(), Err: err}
+					mu.Lock()
 					if firstErr == nil {
-						firstErr = &TaskError{ID: id, Task: g.Tasks[id].String(), Err: err}
+						firstErr = te
 					}
 					cond.Broadcast()
 					mu.Unlock()
+					// Trip the flag outside the engine mutex (Cancel runs
+					// subscriber callbacks, which re-take it).
+					cancel.Cancel(te)
 					return
 				}
-				if firstErr != nil {
+				mu.Lock()
+				if firstErr != nil || cancel.flag.Load() {
 					mu.Unlock()
 					return
 				}
 				remaining--
+				completed++
 				for _, s := range g.Succ[id] {
 					indeg[s]--
 					if indeg[s] == 0 {
-						heap.Push(&queues[taskOwner[s]], int(s))
+						heap.Push(queueFor(int(s)), int(s))
 					}
 				}
 				cond.Broadcast()
@@ -255,6 +308,9 @@ func ExecuteTraced(g *taskgraph.Graph, owner Assignment, procs int, prio []float
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr
+	}
+	if remaining > 0 {
+		return &CancelError{Cause: cancel.Cause(), Completed: completed, Total: g.NumTasks()}
 	}
 	return nil
 }

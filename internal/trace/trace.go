@@ -38,6 +38,10 @@ const (
 	KindUpdate
 	// KindScale is a pre-factorization scaling pass (equilibration).
 	KindScale
+	// KindAbort marks the instant a worker published a task failure and
+	// tripped the execution's cancel flag. It carries the failing task's
+	// id and column; its duration is zero.
+	KindAbort
 	// numKinds bounds the Kind enumeration for per-kind aggregation.
 	numKinds
 )
@@ -51,6 +55,8 @@ func (k Kind) String() string {
 		return "update"
 	case KindScale:
 		return "scale"
+	case KindAbort:
+		return "abort"
 	}
 	return "unknown"
 }
