@@ -110,6 +110,33 @@ func BenchmarkTable3Supernodes(b *testing.B) {
 	}
 }
 
+// BenchmarkFactorize is the end-to-end numeric-phase benchmark the
+// kernel work is judged by: one analysis, repeated factorizations, the
+// symbolic cost model's flops over wall time reported as GFLOPS. The
+// full-size sherman3 at P ∈ {1, 4} exercises the packed Dgemm, the
+// blocked Dtrsm and the blocked panel LU through the supernodal update
+// path.
+func BenchmarkFactorize(b *testing.B) {
+	a := matgen.Sherman3()
+	s, err := core.Analyze(a, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("sherman3/P=%d", p), func(b *testing.B) {
+			sp := *s
+			sp.Opts.Workers = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FactorizeGlobal(&sp, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(s.Stats.TotalFlops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
 // benchFigure is shared by the Figure 5 and Figure 6 benchmarks: it
 // simulates both task graphs on the Origin 2000 model and reports the
 // improvement 1 − T(eforest)/T(S*) as a metric per processor count.

@@ -7,11 +7,14 @@
 #   ./check.sh bench   # paperbench small suite + regression compare
 #   ./check.sh [all]   # everything above (the default)
 #
-# The bench stage writes bench-out/BENCH_small.json and a Chrome trace,
-# then fails if suite wall time regressed more than SPARSELU_BENCH_TOL
+# The bench stage runs the dense-kernel benchmarks into
+# bench-out/kernel-bench.txt, writes bench-out/BENCH_small.json (suite
+# wall times + kernel GFLOPS) and a Chrome trace, then fails if suite
+# wall time or any kernel regressed more than SPARSELU_BENCH_TOL
 # (default 0.25) against the committed BENCH_small.json baseline.
 # SPARSELU_BENCH_REPS (default 3) controls repetitions per
-# configuration.
+# configuration; SPARSELU_KERNEL_BENCHTIME (default 300ms) the Go
+# benchmark time per kernel size.
 set -eu
 cd "$(dirname "$0")"
 
@@ -53,8 +56,13 @@ chaos() {
 }
 
 bench() {
-	echo "==> paperbench (small suite, regression gate)"
+	echo "==> kernel benchmarks (output kept as CI artifact)"
 	mkdir -p bench-out
+	go test -run '^$' -bench 'BenchmarkDgemm$|BenchmarkDtrsm$|BenchmarkDgetrfStatic$' \
+		-benchtime "${SPARSELU_KERNEL_BENCHTIME:-300ms}" \
+		./internal/blas/ | tee bench-out/kernel-bench.txt
+
+	echo "==> paperbench (small suite, regression gate)"
 	go run ./cmd/paperbench \
 		-bench bench-out/BENCH_small.json \
 		-benchtrace bench-out/trace_small.json \

@@ -86,6 +86,7 @@ func TestFixtureViolations(t *testing.T) {
 	cfg := defaultConfig(mod)
 	cfg.numeric[fixturePath] = true
 	cfg.workers[fixturePath] = true
+	cfg.hotpath[fixturePath] = true
 
 	findings := analyzePkg(fset, bad, cfg)
 	got := map[string]int{}
@@ -102,6 +103,7 @@ func TestFixtureViolations(t *testing.T) {
 		"lock-discipline":  1,
 		"worker-timing":    1,
 		"worker-exit":      2,
+		"hot-alloc":        3,
 	}
 	for rule, n := range want {
 		if got[rule] != n {
@@ -132,6 +134,62 @@ func TestFixtureViolations(t *testing.T) {
 	}
 	for line, rule := range wantLines {
 		t.Errorf("finding %s at line %d has no `// want` marker", rule, line)
+	}
+}
+
+// TestHotAllocWorkerScope pins the hot-alloc scoping: when the fixture
+// is a workers package but NOT a hot-path package, only the goroutine-
+// body allocations fire — the top-level make is legal setup code. The
+// whole-file variant is covered by TestFixtureViolations, and the
+// precedence (hotpath subsumes the goroutine scan, no double reports)
+// by its exact per-rule counts.
+func TestHotAllocWorkerScope(t *testing.T) {
+	pkgs, fset, mod := loadOnce(t)
+	var bad *pkgInfo
+	for _, pi := range pkgs {
+		if pi.path == fixturePath {
+			bad = pi
+		}
+	}
+	if bad == nil {
+		t.Fatal("fixture package not loaded")
+	}
+
+	cfg := defaultConfig(mod)
+	cfg.workers[fixturePath] = true // goroutine-body scan only
+
+	var hot []finding
+	for _, f := range analyzePkg(fset, bad, cfg) {
+		if f.rule == "hot-alloc" {
+			hot = append(hot, f)
+		}
+	}
+	if len(hot) != 2 {
+		t.Fatalf("worker-scoped hot-alloc: got %d findings, want 2 (goroutine body only):\n%v", len(hot), hot)
+	}
+
+	// The two findings must be the goroutine-body make and append, not
+	// the top-level make: locate the lines from the fixture source.
+	data := readFixture(t)
+	goroutineLines := map[int]bool{}
+	var topLevelMake int
+	for i, line := range strings.Split(data, "\n") {
+		if !strings.Contains(line, "// want hot-alloc") {
+			continue
+		}
+		if strings.Contains(line, "local") {
+			goroutineLines[i+1] = true
+		} else {
+			topLevelMake = i + 1
+		}
+	}
+	for _, f := range hot {
+		if f.pos.Line == topLevelMake {
+			t.Errorf("top-level make at line %d flagged under worker scoping: %s", topLevelMake, f)
+		}
+		if !goroutineLines[f.pos.Line] {
+			t.Errorf("finding at unexpected line %d: %s", f.pos.Line, f)
+		}
 	}
 }
 

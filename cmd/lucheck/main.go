@@ -1,7 +1,7 @@
 // Command lucheck is the project-specific static checker for the
 // parallel sparse LU codebase. It parses and type-checks the whole
 // module with the standard library's go/ast and go/types and enforces
-// six invariants the general tools cannot know about:
+// seven invariants the general tools cannot know about:
 //
 //   - pattern-mutation: the CSC/Pattern structure slices (ColPtr,
 //     RowInd) back the *static* symbolic factorization; they may only
@@ -25,6 +25,12 @@
 //     terminate the process (os.Exit, log.Fatal*); failures must flow
 //     through the scheduler's TaskError/cancellation contract so the
 //     caller learns which task failed and the pool shuts down cleanly.
+//   - hot-alloc: the numeric hot path is allocation-free by contract.
+//     internal/blas non-test code may not call make or append at all
+//     (kernel scratch comes from the packing-scratch pool); goroutine
+//     bodies in internal/sched may not either, since anything there
+//     runs once per task. Setup code outside worker closures may
+//     allocate freely.
 //
 // Findings can be waived with a `//lucheck:allow <rule>` comment on the
 // same line or the line above, which keeps deliberate exceptions

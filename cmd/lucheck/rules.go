@@ -33,6 +33,13 @@ package main
 //     scheduler's error contract: failures surface as a TaskError
 //     through the cancellation path, so the caller learns which task
 //     failed and the remaining workers stop cleanly.
+//   - hot-alloc: the numeric hot path is allocation-free by contract
+//     (the zero-allocation proof in internal/core pins it). In the
+//     hot-path packages (internal/blas) no non-test code may call make
+//     or append at all — kernel scratch comes from the packing-scratch
+//     pool, everything else from caller-provided buffers. In the worker
+//     packages the same ban applies inside goroutine bodies launched
+//     with `go func`, where an allocation would run once per task.
 
 import (
 	"fmt"
@@ -66,6 +73,11 @@ type config struct {
 	numeric map[string]bool
 	// workers packages get the lock-discipline rule.
 	workers map[string]bool
+	// hotpath packages get the whole-file hot-alloc rule (no make or
+	// append anywhere in non-test code); workers packages get the
+	// goroutine-body variant unless they are also hotpath (whole-file
+	// subsumes it).
+	hotpath map[string]bool
 }
 
 // defaultConfig is the rule scoping for this repository.
@@ -85,6 +97,9 @@ func defaultConfig(modPath string) *config {
 		},
 		workers: map[string]bool{
 			p("internal/sched"): true,
+		},
+		hotpath: map[string]bool{
+			p("internal/blas"): true,
 		},
 	}
 }
@@ -119,6 +134,13 @@ func analyzePkg(fset *token.FileSet, pi *pkgInfo, cfg *config) []finding {
 			p.lockDiscipline(f)
 			p.workerTiming(f)
 			p.workerExit(f)
+		}
+		// Whole-file hot-alloc takes precedence over the goroutine-body
+		// variant so a package in both sets is not double-reported.
+		if cfg.hotpath[pi.path] {
+			p.hotAllocFile(f)
+		} else if cfg.workers[pi.path] {
+			p.hotAllocGoroutines(f)
 		}
 	}
 	return p.findings
@@ -432,6 +454,52 @@ func (p *pass) workerExit(f *ast.File) {
 				"%s.%s in a worker goroutine kills the process; fail through the scheduler's error contract instead", obj.Pkg().Path(), sel.Sel.Name)
 			return true
 		})
+		return true
+	})
+}
+
+// hotAllocFile flags every builtin make/append call in a file of a
+// hot-path package: the level-3 kernels run inside the measured numeric
+// phase, so any allocation they perform is a per-task heap object that
+// the zero-allocation proof would catch much later and less precisely.
+// Kernel scratch comes from the sync.Pool of fixed-size arrays (whose
+// one sanctioned allocation is `new` in the pool's New func).
+func (p *pass) hotAllocFile(f *ast.File) {
+	p.hotAllocIn(f, "in a hot-path package; use a pooled or caller-provided buffer")
+}
+
+// hotAllocGoroutines applies the same ban only inside goroutine bodies
+// of the worker packages: code launched with `go func` is the per-task
+// execution engine, while setup code around it may allocate freely
+// (queues and ownership tables are built once per factorization).
+func (p *pass) hotAllocGoroutines(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			p.hotAllocIn(fl.Body, "in a worker goroutine runs once per task; hoist it to setup")
+		}
+		return true
+	})
+}
+
+// hotAllocIn reports every call to the builtin make or append under n.
+func (p *pass) hotAllocIn(n ast.Node, why string) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || (id.Name != "make" && id.Name != "append") {
+			return true
+		}
+		if obj := p.pi.info.Uses[id]; obj == nil || obj.Parent() != types.Universe {
+			return true // shadowed, not the builtin
+		}
+		p.report(call.Pos(), "hot-alloc", "%s %s", id.Name, why)
 		return true
 	})
 }

@@ -84,6 +84,27 @@ func TimedWorker() time.Duration {
 	return time.Since(start)
 }
 
+// HotAlloc allocates in the numeric hot path. With the fixture scoped
+// as a hot-path package, the top-level make and both goroutine-body
+// allocations are findings; scoped only as a workers package, just the
+// two inside the goroutine fire (see TestHotAllocWorkerScope). The
+// suppressed make demonstrates the waiver path.
+func HotAlloc(n int) float64 {
+	buf := make([]float64, n) // want hot-alloc
+	//lucheck:allow hot-alloc — setup-time scratch outside the measured phase
+	setup := make([]float64, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := make([]float64, 0, 4) // want hot-alloc
+		local = append(local, 1)       // want hot-alloc
+		_ = local
+	}()
+	wg.Wait()
+	return buf[0] + setup[0]
+}
+
 // ExitingWorker terminates the process from worker goroutines instead
 // of failing through the scheduler's error contract: two worker-exit
 // findings. The os.Exit outside any goroutine is out of the rule's

@@ -3,9 +3,12 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"time"
 
+	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/matgen"
 	"repro/internal/trace"
@@ -33,6 +36,18 @@ type benchEntry struct {
 	Parallelism float64 `json:"parallelism"`
 	// Utilization is each worker's busy fraction of the trace window.
 	Utilization []float64 `json:"utilization"`
+	// GFlops is the end-to-end factorization rate of the fastest
+	// repetition: the symbolic cost model's total flops over wall time.
+	GFlops float64 `json:"gflops"`
+}
+
+// kernelEntry is one dense-kernel measurement: the fastest repetition
+// and its flop rate. These pin the BLAS-3 layer's performance
+// independently of the sparse machinery above it, so a kernel
+// regression is attributed to the kernel and not to scheduling noise.
+type kernelEntry struct {
+	Seconds float64 `json:"seconds"`
+	GFlops  float64 `json:"gflops"`
 }
 
 // benchReport is the BENCH_<suite>.json document.
@@ -45,6 +60,10 @@ type benchReport struct {
 	// (keyed by the decimal worker count). The regression comparator
 	// works on these totals so single-matrix jitter cannot fail CI.
 	TotalWallSeconds map[string]float64 `json:"total_wall_seconds"`
+	// Kernels holds the dense-kernel measurements (dgemm_256,
+	// dtrsm_256, panel_lu_1024x64); the comparator gates their seconds
+	// at the same tolerance as the suite totals.
+	Kernels map[string]kernelEntry `json:"kernels"`
 }
 
 // runBench executes the suite and writes the report to outPath. When
@@ -108,6 +127,7 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 				CriticalPathSeconds: float64(cp) / 1e9,
 				Parallelism:         sum.Parallelism,
 				Utilization:         util,
+				GFlops:              run.Stats.TotalFlops / best / 1e9,
 			})
 			report.TotalWallSeconds[fmt.Sprint(p)] += best
 			if si == 0 && p == maxProcs {
@@ -116,6 +136,8 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 			}
 		}
 	}
+
+	report.Kernels = runKernelBench(reps)
 
 	if err := writeJSON(outPath, report); err != nil {
 		return nil, err
@@ -131,6 +153,88 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 		}
 	}
 	return report, nil
+}
+
+// runKernelBench measures the dense level-3 kernels the numeric phase
+// is built from, min-of-reps like the suite entries. Sizes are fixed so
+// the keys are stable across baselines: a 256³ Dgemm (the packed
+// register-tiled path), a 256×256 lower-unit Dtrsm (blocked strip
+// solves + Dgemm updates) and a 1024×64 blocked panel LU.
+func runKernelBench(reps int) map[string]kernelEntry {
+	rng := rand.New(rand.NewSource(42))
+	fill := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	measure := func(flops float64, setup func(), run func()) kernelEntry {
+		best := -1.0
+		for rep := 0; rep < reps; rep++ {
+			setup()
+			start := time.Now()
+			run()
+			wall := time.Since(start).Seconds()
+			if best < 0 || wall < best {
+				best = wall
+			}
+		}
+		return kernelEntry{Seconds: best, GFlops: flops / best / 1e9}
+	}
+
+	out := map[string]kernelEntry{}
+
+	// Dgemm 256³: C += A·B, 2n³ flops. One call is only a few
+	// milliseconds, so each repetition runs the call in a short loop and
+	// reports the per-call time.
+	{
+		const n, calls = 256, 8
+		a, b, c := fill(n*n), fill(n*n), fill(n*n)
+		ke := measure(2*float64(n)*float64(n)*float64(n), func() {},
+			func() {
+				for i := 0; i < calls; i++ {
+					blas.Dgemm(n, n, n, 1, a, n, b, n, 1, c, n)
+				}
+			})
+		ke.Seconds /= calls
+		ke.GFlops *= calls
+		out["dgemm_256"] = ke
+	}
+
+	// Dtrsm 256×256 lower-unit: T·X = B forward solve, ~m²·n flops.
+	{
+		const m, n, calls = 256, 256, 8
+		t := fill(m * m)
+		for i := 0; i < m; i++ {
+			t[i*m+i] += float64(m)
+		}
+		x := fill(m * n)
+		ke := measure(float64(m)*float64(m)*float64(n), func() {},
+			func() {
+				for i := 0; i < calls; i++ {
+					blas.Dtrsm(true, true, m, n, 1, t, m, x, n)
+				}
+			})
+		ke.Seconds /= calls
+		ke.GFlops *= calls
+		out["dtrsm_256"] = ke
+	}
+
+	// Blocked panel LU 1024×64: the tall-panel factorization shape of
+	// the supernodal numeric phase, 2mn² − (2/3)n³ flops. The panel is
+	// refilled before every repetition (LU overwrites it).
+	{
+		const m, n = 1024, 64
+		orig := fill(m * n)
+		a := make([]float64, m*n)
+		ipiv := make([]int, n)
+		flops := 2*float64(m)*float64(n)*float64(n) - 2.0/3.0*float64(n)*float64(n)*float64(n)
+		out["panel_lu_1024x64"] = measure(flops,
+			func() { copy(a, orig) },
+			func() { blas.DgetrfStatic(m, n, a, n, ipiv, 0, nil) })
+	}
+	return out
 }
 
 func writeJSON(path string, v any) error {
@@ -173,6 +277,30 @@ func compareBench(cur *benchReport, path string, tol float64) error {
 			failures = append(failures, fmt.Sprintf("P=%s: %.4fs vs baseline %.4fs (%.0f%%)", key, now, was, 100*(ratio-1)))
 		}
 		fmt.Printf("compare: P=%s total %.4fs, baseline %.4fs (%+.0f%%) %s\n", key, now, was, 100*(ratio-1), status)
+	}
+	// Kernel gate: same tolerance on the per-call kernel seconds.
+	// Kernels absent from the baseline are reported as new but do not
+	// fail, so adding a kernel does not require a flag-day baseline.
+	names := make([]string, 0, len(cur.Kernels))
+	for name := range cur.Kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		now := cur.Kernels[name]
+		was, ok := base.Kernels[name]
+		if !ok {
+			fmt.Printf("compare: kernel %s has no baseline (new kernel)\n", name)
+			continue
+		}
+		ratio := now.Seconds / was.Seconds
+		status := "ok"
+		if now.Seconds > was.Seconds*(1+tol) {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("kernel %s: %.6fs vs baseline %.6fs (%.0f%%)", name, now.Seconds, was.Seconds, 100*(ratio-1)))
+		}
+		fmt.Printf("compare: kernel %s %.2f GFLOPS (%.6fs), baseline %.6fs (%+.0f%%) %s\n",
+			name, now.GFlops, now.Seconds, was.Seconds, 100*(ratio-1), status)
 	}
 	if failures != nil {
 		return fmt.Errorf("wall time regressed beyond %.0f%% tolerance: %v", 100*tol, failures)

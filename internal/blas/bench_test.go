@@ -92,6 +92,29 @@ func BenchmarkDgetf2Panel(b *testing.B) {
 	}
 }
 
+func BenchmarkDgetrfStatic(b *testing.B) {
+	// The blocked panel factorization on the tall-panel shapes the
+	// supernodal numeric phase produces, plus a square case for
+	// comparison with BenchmarkDgetrf's unblocked path.
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{256, 256}, {512, 64}, {1024, 64}} {
+		m, n := shape[0], shape[1]
+		orig := randMat(m, n, rng)
+		a := make([]float64, m*n)
+		ipiv := make([]int, n)
+		b.Run(fmt.Sprintf("%dx%d", m, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(a, orig)
+				if _, fz := DgetrfStatic(m, n, a, n, ipiv, 0, nil); fz >= 0 {
+					b.Fatalf("zero pivot at %d", fz)
+				}
+			}
+			flops := 2*float64(m)*float64(n)*float64(n) - 2.0/3.0*float64(n)*float64(n)*float64(n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflop/s")
+		})
+	}
+}
+
 func BenchmarkDgemv(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	n := 256

@@ -1,19 +1,16 @@
 package blas
 
-// gemm micro-kernel block sizes, chosen so a block of B rows stays in L1.
-const (
-	gemmMC = 64
-	gemmKC = 128
-)
-
 // Dgemm computes C ← α·A·B + β·C for row-major matrices: A is m×k (lda),
 // B is k×n (ldb), C is m×n (ldc). Only the non-transposed case is
 // provided; the factorization arranges its operands so that suffices.
 //
-// The kernel uses the i-k-j loop order with k-blocking so the inner loop
-// is a contiguous AXPY over a row of B — the access pattern that lets the
-// Go compiler keep everything in registers and the hardware prefetcher
-// streaming.
+// Two code paths produce bitwise-identical results: a scalar i-k-j AXPY
+// kernel for small operands and a packed, register-tiled kernel
+// (pack.go / microkernel.go) for everything else. Both accumulate each
+// C element's contributions one k at a time in ascending k and skip a
+// contribution exactly when α·A[i,p] == 0, so the floating-point
+// operation sequence per element — and therefore the rounding — is
+// identical no matter which path runs.
 func Dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	if beta != 1 {
 		for i := 0; i < m; i++ {
@@ -32,6 +29,17 @@ func Dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb in
 	if alpha == 0 || k == 0 {
 		return
 	}
+	if m >= gemmMR && n >= gemmNR && m*n*k >= packedGemmCutoff {
+		gemmPacked(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	gemmSmall(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// gemmSmall is the seed scalar kernel: i-k-j loop order with k/m
+// blocking so the inner loop is a contiguous AXPY over a row of B.
+// It handles the operands too small to amortize packing.
+func gemmSmall(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	for kb := 0; kb < k; kb += gemmKC {
 		kEnd := kb + gemmKC
 		if kEnd > k {
@@ -60,10 +68,74 @@ func Dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb in
 	}
 }
 
+// gemmPacked is the five-loop BLIS-style kernel: B panels of
+// packKC×packNC rows are packed once and reused across all A blocks,
+// A blocks of packMC×packKC are packed with alpha folded in, and the
+// packed micro-panels feed the gemmMR×gemmNR register-tile kernel.
+// Packing scratch comes from scratchPool, so steady-state calls do not
+// allocate.
+func gemmPacked(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	s := scratchPool.Get().(*gemmScratch)
+	for jc := 0; jc < n; jc += packNC {
+		nc := n - jc
+		if nc > packNC {
+			nc = packNC
+		}
+		for pc := 0; pc < k; pc += packKC {
+			kc := k - pc
+			if kc > packKC {
+				kc = packKC
+			}
+			packB(kc, nc, b[pc*ldb+jc:], ldb, s.pb[:])
+			for ic := 0; ic < m; ic += packMC {
+				mc := m - ic
+				if mc > packMC {
+					mc = packMC
+				}
+				packA(mc, kc, alpha, a[ic*lda+pc:], lda, s.pa[:])
+				for jr := 0; jr < nc; jr += gemmNR {
+					nr := nc - jr
+					if nr > gemmNR {
+						nr = gemmNR
+					}
+					pbp := s.pb[jr*kc:]
+					for ir := 0; ir < mc; ir += gemmMR {
+						mr := mc - ir
+						if mr > gemmMR {
+							mr = gemmMR
+						}
+						cc := c[(ic+ir)*ldc+jc+jr:]
+						if mr == gemmMR && nr == gemmNR {
+							microKernel4x8(kc, s.pa[ir*kc:], pbp, cc, ldc)
+						} else {
+							microKernelEdge(mr, nr, kc, s.pa[ir*kc:], pbp, cc, ldc)
+						}
+					}
+				}
+			}
+		}
+	}
+	scratchPool.Put(s)
+}
+
+// trsmNB is the strip width of the blocked lower-triangular solve:
+// strips of trsmNB rows are solved with the unblocked kernel after a
+// Dgemm update folds in the already-solved rows above.
+const trsmNB = 32
+
 // Dtrsm solves op(T)·X = α·B in place (B is overwritten with X) where T
 // is an m×m triangular matrix applied from the left. lower selects the
 // triangle of T, unit an implicit unit diagonal. B is m×n row-major with
 // leading dimension ldb.
+//
+// The lower solve is blocked: each trsmNB-row strip first receives the
+// contributions of all rows above it through Dgemm (ascending p, same
+// per-element order and T==0 skip as the unblocked loop, so results
+// stay bitwise identical) and is then solved unblocked. The upper
+// solve stays unblocked: it walks rows bottom-up but accumulates each
+// element's subtrahends in ascending p, an order a strip decomposition
+// would reorder — and it only runs in the triangular-solve phase, not
+// under the factorization's update tasks.
 func Dtrsm(lower, unit bool, m, n int, alpha float64, t []float64, ldt int, b []float64, ldb int) {
 	if alpha != 1 {
 		for i := 0; i < m; i++ {
@@ -74,24 +146,20 @@ func Dtrsm(lower, unit bool, m, n int, alpha float64, t []float64, ldt int, b []
 		}
 	}
 	if lower {
-		for i := 0; i < m; i++ {
-			bi := b[i*ldb : i*ldb+n]
-			trow := t[i*ldt : i*ldt+i]
-			for p, tip := range trow {
-				if tip == 0 {
-					continue
-				}
-				bp := b[p*ldb : p*ldb+n]
-				for j, v := range bp {
-					bi[j] -= tip * v
-				}
+		if m <= trsmNB {
+			trsmLowerUnblocked(unit, m, n, t, ldt, b, ldb)
+			return
+		}
+		for i0 := 0; i0 < m; i0 += trsmNB {
+			ib := m - i0
+			if ib > trsmNB {
+				ib = trsmNB
 			}
-			if !unit {
-				d := 1 / t[i*ldt+i]
-				for j := range bi {
-					bi[j] *= d
-				}
+			if i0 > 0 {
+				// B[i0:i0+ib] -= T[i0:i0+ib, 0:i0] · X[0:i0]
+				Dgemm(ib, n, i0, -1, t[i0*ldt:], ldt, b, ldb, 1, b[i0*ldb:], ldb)
 			}
+			trsmLowerUnblocked(unit, ib, n, t[i0*ldt+i0:], ldt, b[i0*ldb:], ldb)
 		}
 		return
 	}
@@ -103,6 +171,32 @@ func Dtrsm(lower, unit bool, m, n int, alpha float64, t []float64, ldt int, b []
 				continue
 			}
 			p := i + 1 + pj
+			bp := b[p*ldb : p*ldb+n]
+			for j, v := range bp {
+				bi[j] -= tip * v
+			}
+		}
+		if !unit {
+			d := 1 / t[i*ldt+i]
+			for j := range bi {
+				bi[j] *= d
+			}
+		}
+	}
+}
+
+// trsmLowerUnblocked is the seed forward-substitution loop on an m×m
+// lower triangle. Each row of X accumulates its subtrahends in
+// ascending p with an exact-zero skip on T — the contract the blocked
+// driver and Dgemm preserve.
+func trsmLowerUnblocked(unit bool, m, n int, t []float64, ldt int, b []float64, ldb int) {
+	for i := 0; i < m; i++ {
+		bi := b[i*ldb : i*ldb+n]
+		trow := t[i*ldt : i*ldt+i]
+		for p, tip := range trow {
+			if tip == 0 {
+				continue
+			}
 			bp := b[p*ldb : p*ldb+n]
 			for j, v := range bp {
 				bi[j] -= tip * v

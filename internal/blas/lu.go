@@ -28,7 +28,7 @@ func Dlaswp(n int, a []float64, lda int, ipiv []int) {
 // factorization still completes the remaining columns, matching LAPACK's
 // info convention loosely).
 func Dgetf2(m, n int, a []float64, lda int, ipiv []int) error {
-	if _, firstZero := Dgetf2Static(m, n, a, lda, ipiv, 0); firstZero >= 0 {
+	if _, firstZero := Dgetf2Static(m, n, a, lda, ipiv, 0, nil); firstZero >= 0 {
 		return ErrSingular
 	}
 	return nil
@@ -47,10 +47,13 @@ func Dgetf2(m, n int, a []float64, lda int, ipiv []int) error {
 // With thresh > 0 (perturbation mode, SuperLU_DIST style) a pivot whose
 // magnitude falls below thresh is replaced by ±thresh, preserving its
 // sign (an exact zero becomes +thresh), so the factorization never
-// fails; the panel-local indices of the perturbed columns are returned
-// in ascending order and firstZero is always -1. Callers are expected to
-// recover the lost accuracy with iterative refinement.
-func Dgetf2Static(m, n int, a []float64, lda int, ipiv []int, thresh float64) (perturbed []int, firstZero int) {
+// fails; the panel-local indices of the perturbed columns are written
+// in ascending order to the caller-provided perturbed buffer (which
+// must have room for min(m, n) entries — the hot path preallocates it
+// so factoring never allocates), nperturbed reports how many were
+// written, and firstZero is always -1.  Callers are expected to recover
+// the lost accuracy with iterative refinement.
+func Dgetf2Static(m, n int, a []float64, lda int, ipiv []int, thresh float64, perturbed []int) (nperturbed, firstZero int) {
 	mn := m
 	if n < mn {
 		mn = n
@@ -86,7 +89,8 @@ func Dgetf2Static(m, n int, a []float64, lda int, ipiv []int, thresh float64) (p
 				piv = thresh
 			}
 			a[j*lda+j] = piv
-			perturbed = append(perturbed, j)
+			perturbed[nperturbed] = j
+			nperturbed++
 		}
 		inv := 1 / piv
 		for i := j + 1; i < m; i++ {
@@ -102,32 +106,53 @@ func Dgetf2Static(m, n int, a []float64, lda int, ipiv []int, thresh float64) (p
 			}
 		}
 	}
-	return perturbed, firstZero
+	return nperturbed, firstZero
 }
 
-// Dgetrf computes a blocked LU factorization with partial pivoting of an
-// m×n row-major matrix, equivalent to Dgetf2 but using Dtrsm/Dgemm on
-// trailing blocks for cache efficiency. ipiv has length min(m, n).
-func Dgetrf(m, n int, a []float64, lda int, ipiv []int) error {
-	const nb = 48
+// luNB is the panel width of the blocked right-looking factorization.
+const luNB = 32
+
+// DgetrfStatic is the blocked right-looking variant of Dgetf2Static:
+// identical contract (static row set, fail/perturb degradation, ipiv
+// and perturbed indices local to the whole panel), but panels wider
+// than luNB are factored luNB columns at a time with Dtrsm/Dgemm
+// trailing updates so the bulk of the work runs in the packed level-3
+// kernels.
+//
+// The result is bitwise identical to Dgetf2Static on the same input:
+// the trailing update applies the same l·u subtrahends to each element
+// in the same ascending elimination order, and a column skipped for an
+// exactly zero pivot (fail mode) is zero everywhere below the diagonal
+// — the pivot search covered all remaining rows — so the level-3
+// updates' exact-zero skips reproduce the unblocked kernel's skipped
+// eliminations automatically.
+func DgetrfStatic(m, n int, a []float64, lda int, ipiv []int, thresh float64, perturbed []int) (nperturbed, firstZero int) {
 	mn := m
 	if n < mn {
 		mn = n
 	}
-	if mn <= nb {
-		return Dgetf2(m, n, a, lda, ipiv)
+	if mn <= luNB {
+		return Dgetf2Static(m, n, a, lda, ipiv, thresh, perturbed)
 	}
-	var firstErr error
-	for j := 0; j < mn; j += nb {
-		jb := nb
+	firstZero = -1
+	for j := 0; j < mn; j += luNB {
+		jb := luNB
 		if j+jb > mn {
 			jb = mn - j
 		}
 		// Factor the panel A[j:m, j:j+jb].
-		panel := a[j*lda+j:]
-		if err := Dgetf2(m-j, jb, panel, lda, ipiv[j:j+jb]); err != nil && firstErr == nil {
-			firstErr = err
+		var sub []int
+		if perturbed != nil {
+			sub = perturbed[nperturbed:]
 		}
+		np, fz := Dgetf2Static(m-j, jb, a[j*lda+j:], lda, ipiv[j:j+jb], thresh, sub)
+		if fz >= 0 && firstZero < 0 {
+			firstZero = j + fz
+		}
+		for i := 0; i < np; i++ {
+			perturbed[nperturbed+i] += j
+		}
+		nperturbed += np
 		// Convert panel-local pivot indices to global and apply the
 		// interchanges to the columns outside the panel.
 		for i := j; i < j+jb; i++ {
@@ -154,7 +179,17 @@ func Dgetrf(m, n int, a []float64, lda int, ipiv []int) error {
 			}
 		}
 	}
-	return firstErr
+	return nperturbed, firstZero
+}
+
+// Dgetrf computes a blocked LU factorization with partial pivoting of an
+// m×n row-major matrix, equivalent to Dgetf2 but using Dtrsm/Dgemm on
+// trailing blocks for cache efficiency. ipiv has length min(m, n).
+func Dgetrf(m, n int, a []float64, lda int, ipiv []int) error {
+	if _, firstZero := DgetrfStatic(m, n, a, lda, ipiv, 0, nil); firstZero >= 0 {
+		return ErrSingular
+	}
+	return nil
 }
 
 // Dgetrs solves A·x = b using the factorization computed by

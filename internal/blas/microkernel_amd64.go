@@ -1,0 +1,50 @@
+//go:build amd64
+
+package blas
+
+// useAVX2 gates the assembly micro-kernel. Detection runs once at
+// init; the fallback is the portable Go kernel.
+var useAVX2 = detectAVX2()
+
+// detectAVX2 reports whether the CPU supports AVX2 and the OS has
+// enabled the YMM register state (OSXSAVE + XCR0 bits 1:2).
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, cx, _ := cpuid(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if cx&osxsaveBit == 0 || cx&avxBit == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv(); xcr0&6 != 6 {
+		return false
+	}
+	_, bx, _, _ := cpuid(7, 0)
+	return bx&(1<<5) != 0
+}
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func microKernel4x8AVX2(kc int, pa, pb, c *float64, ldc int)
+
+// microKernel4x8 dispatches the full-tile kernel. The assembly version
+// uses separate VMULPD/VADDPD (never FMA, whose single rounding would
+// diverge from the scalar kernels) and masks out contributions whose
+// packed A value compares equal to zero by adding -0.0 instead — an
+// IEEE no-op on every value, including -0 and NaN accumulators — so it
+// is bitwise identical to microKernel4x8Go.
+func microKernel4x8(kc int, pa, pb []float64, c []float64, ldc int) {
+	if useAVX2 && kc > 0 {
+		microKernel4x8AVX2(kc, &pa[0], &pb[0], &c[0], ldc)
+		return
+	}
+	microKernel4x8Go(kc, pa, pb, c, ldc)
+}

@@ -1,0 +1,117 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func microKernel4x8AVX2(kc int, pa, pb, c *float64, ldc int)
+//
+// C[0:4, 0:8] += Aᵖ·Bᵖ on packed micro-panels, bitwise identical to
+// microKernel4x8Go: multiplies and adds stay separate (no FMA — its
+// single rounding would diverge from the scalar kernels), every C
+// element accumulates its contributions in ascending k, and a packed A
+// value equal to zero is masked to -0.0 before the add. Adding -0.0 is
+// an IEEE no-op on every operand (x + -0.0 ≡ x, including x = -0.0 and
+// NaN), so the mask reproduces the scalar kernel's `a == 0` skip
+// exactly; a NaN in A compares unequal to zero (EQ_OQ) and propagates,
+// as in the Go kernel.
+//
+// Register plan: Y0..Y7 the 4×8 C accumulators (row r in Y(2r) cols
+// 0..3 and Y(2r+1) cols 4..7), Y8/Y9 the current B row, Y10 the
+// broadcast A value, Y11 its ==0 mask, Y12 products, Y13 -0.0, Y14 +0.
+TEXT ·microKernel4x8AVX2(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8               // row stride in bytes
+	LEAQ (DI)(R8*1), R9       // &C[1,0]
+	LEAQ (R9)(R8*1), R10      // &C[2,0]
+	LEAQ (R10)(R8*1), R11     // &C[3,0]
+
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD (R9), Y2
+	VMOVUPD 32(R9), Y3
+	VMOVUPD (R10), Y4
+	VMOVUPD 32(R10), Y5
+	VMOVUPD (R11), Y6
+	VMOVUPD 32(R11), Y7
+
+	VXORPD   Y14, Y14, Y14    // +0.0 in every lane
+	VPCMPEQQ Y13, Y13, Y13
+	VPSLLQ   $63, Y13, Y13    // -0.0 in every lane
+
+kloop:
+	VMOVUPD (BX), Y8          // B[p, 0:4]
+	VMOVUPD 32(BX), Y9        // B[p, 4:8]
+
+	VBROADCASTSD (SI), Y10    // A[0, p]
+	VCMPPD    $0, Y14, Y10, Y11
+	VMULPD    Y8, Y10, Y12
+	VBLENDVPD Y11, Y13, Y12, Y12
+	VADDPD    Y12, Y0, Y0
+	VMULPD    Y9, Y10, Y12
+	VBLENDVPD Y11, Y13, Y12, Y12
+	VADDPD    Y12, Y1, Y1
+
+	VBROADCASTSD 8(SI), Y10   // A[1, p]
+	VCMPPD    $0, Y14, Y10, Y11
+	VMULPD    Y8, Y10, Y12
+	VBLENDVPD Y11, Y13, Y12, Y12
+	VADDPD    Y12, Y2, Y2
+	VMULPD    Y9, Y10, Y12
+	VBLENDVPD Y11, Y13, Y12, Y12
+	VADDPD    Y12, Y3, Y3
+
+	VBROADCASTSD 16(SI), Y10  // A[2, p]
+	VCMPPD    $0, Y14, Y10, Y11
+	VMULPD    Y8, Y10, Y12
+	VBLENDVPD Y11, Y13, Y12, Y12
+	VADDPD    Y12, Y4, Y4
+	VMULPD    Y9, Y10, Y12
+	VBLENDVPD Y11, Y13, Y12, Y12
+	VADDPD    Y12, Y5, Y5
+
+	VBROADCASTSD 24(SI), Y10  // A[3, p]
+	VCMPPD    $0, Y14, Y10, Y11
+	VMULPD    Y8, Y10, Y12
+	VBLENDVPD Y11, Y13, Y12, Y12
+	VADDPD    Y12, Y6, Y6
+	VMULPD    Y9, Y10, Y12
+	VBLENDVPD Y11, Y13, Y12, Y12
+	VADDPD    Y12, Y7, Y7
+
+	ADDQ $32, SI
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  kloop
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, (R9)
+	VMOVUPD Y3, 32(R9)
+	VMOVUPD Y4, (R10)
+	VMOVUPD Y5, 32(R10)
+	VMOVUPD Y6, (R11)
+	VMOVUPD Y7, 32(R11)
+	VZEROUPPER
+	RET

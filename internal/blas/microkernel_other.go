@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package blas
+
+// microKernel4x8 is the portable dispatch: no assembly kernel on this
+// architecture.
+func microKernel4x8(kc int, pa, pb []float64, c []float64, ldc int) {
+	microKernel4x8Go(kc, pa, pb, c, ldc)
+}

@@ -1,0 +1,84 @@
+package blas
+
+import "sync"
+
+// Cache-blocking sizes of the packed Dgemm path. A gemmMC×gemmKC block
+// of A (128 KiB) and the gemmKC×gemmNR slice of the packed B panel it
+// multiplies fit in L2 with room to spare; the gemmKC×gemmNR B
+// micro-panel (8 KiB) stays in L1 across the whole column of A
+// micro-tiles. gemmMC is a multiple of gemmMR and gemmNC a multiple of
+// gemmNR so the packed buffers below never need more than their
+// nominal capacity even when edge micro-panels are padded.
+const (
+	packMC = 128
+	packKC = 128
+	packNC = 512
+)
+
+// Seed-path blocking constants (the original kernel's k/m blocking),
+// kept for the scalar fallback that handles matrices too small to be
+// worth packing.
+const (
+	gemmMC = 64
+	gemmKC = 128
+)
+
+// packedGemmCutoff is the minimum m·n·k product for which the packing
+// overhead pays for itself; below it the seed scalar kernel wins.
+const packedGemmCutoff = 8 * 1024
+
+// gemmScratch holds the packing buffers of one in-flight level-3 call.
+// The buffers are fixed-size arrays, not slices, so obtaining a scratch
+// never calls make: the pool's New allocates the whole struct at once
+// and the numeric hot path recycles it allocation-free.
+type gemmScratch struct {
+	pa [packMC * packKC]float64
+	pb [packKC * packNC]float64
+}
+
+// scratchPool recycles packing scratch across Dgemm calls. Workers
+// draw from it at most once per kernel invocation, so after the pool
+// warms up (one scratch per concurrently running worker) the parallel
+// numeric phase performs zero heap allocations per task.
+var scratchPool = sync.Pool{New: func() any { return new(gemmScratch) }}
+
+// packA copies the mc×kc block at a (row-major, leading dimension lda)
+// into pa as column-major micro-panels of gemmMR rows, folding alpha
+// into the values: micro-panel ir holds rows [ir, ir+gemmMR) with
+// element (r, p) at pa[ir*kc + p*gemmMR + r]. A partial last
+// micro-panel (mc not a multiple of gemmMR) leaves its missing lanes
+// untouched; the edge micro-kernel never reads them.
+func packA(mc, kc int, alpha float64, a []float64, lda int, pa []float64) {
+	for ir := 0; ir < mc; ir += gemmMR {
+		mr := mc - ir
+		if mr > gemmMR {
+			mr = gemmMR
+		}
+		dst := pa[ir*kc:]
+		for r := 0; r < mr; r++ {
+			src := a[(ir+r)*lda : (ir+r)*lda+kc]
+			for p, v := range src {
+				dst[p*gemmMR+r] = alpha * v
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc block at b (row-major, leading dimension ldb)
+// into pb as row-major micro-panels of gemmNR columns: micro-panel jr
+// holds columns [jr, jr+gemmNR) with element (p, j) at
+// pb[jr*kc + p*gemmNR + j]. A partial last micro-panel leaves its
+// missing lanes untouched; the edge micro-kernel never reads them.
+func packB(kc, nc int, b []float64, ldb int, pb []float64) {
+	for jr := 0; jr < nc; jr += gemmNR {
+		nr := nc - jr
+		if nr > gemmNR {
+			nr = gemmNR
+		}
+		dst := pb[jr*kc:]
+		for p := 0; p < kc; p++ {
+			src := b[p*ldb+jr : p*ldb+jr+nr]
+			copy(dst[p*gemmNR:p*gemmNR+nr], src)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the packed/blocked kernels bitwise to the seed
+// kernels: seedDgemm, seedDtrsm and seedDgetf2Static below are
+// verbatim copies of the pre-packing implementations (the original
+// level3.go/lu.go), and every test demands Float64bits equality, not
+// tolerance. The packed paths may reorder *which element* is updated
+// when, but each element's own contribution sequence — ascending k,
+// with the exact-zero skip — must match the seed exactly, and that is
+// what these tests enforce.
+
+const (
+	seedMC = 64
+	seedKC = 128
+)
+
+func seedDgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			row := c[i*ldc : i*ldc+n]
+			if beta == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+			} else {
+				for j := range row {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	for kb := 0; kb < k; kb += seedKC {
+		kEnd := kb + seedKC
+		if kEnd > k {
+			kEnd = k
+		}
+		for ib := 0; ib < m; ib += seedMC {
+			iEnd := ib + seedMC
+			if iEnd > m {
+				iEnd = m
+			}
+			for i := ib; i < iEnd; i++ {
+				crow := c[i*ldc : i*ldc+n]
+				arow := a[i*lda:]
+				for p := kb; p < kEnd; p++ {
+					aip := alpha * arow[p]
+					if aip == 0 {
+						continue
+					}
+					brow := b[p*ldb : p*ldb+n]
+					for j, v := range brow {
+						crow[j] += aip * v
+					}
+				}
+			}
+		}
+	}
+}
+
+func seedDtrsm(lower, unit bool, m, n int, alpha float64, t []float64, ldt int, b []float64, ldb int) {
+	if alpha != 1 {
+		for i := 0; i < m; i++ {
+			row := b[i*ldb : i*ldb+n]
+			for j := range row {
+				row[j] *= alpha
+			}
+		}
+	}
+	if lower {
+		for i := 0; i < m; i++ {
+			bi := b[i*ldb : i*ldb+n]
+			trow := t[i*ldt : i*ldt+i]
+			for p, tip := range trow {
+				if tip == 0 {
+					continue
+				}
+				bp := b[p*ldb : p*ldb+n]
+				for j, v := range bp {
+					bi[j] -= tip * v
+				}
+			}
+			if !unit {
+				d := 1 / t[i*ldt+i]
+				for j := range bi {
+					bi[j] *= d
+				}
+			}
+		}
+		return
+	}
+	for i := m - 1; i >= 0; i-- {
+		bi := b[i*ldb : i*ldb+n]
+		trow := t[i*ldt+i+1 : i*ldt+m]
+		for pj, tip := range trow {
+			if tip == 0 {
+				continue
+			}
+			p := i + 1 + pj
+			bp := b[p*ldb : p*ldb+n]
+			for j, v := range bp {
+				bi[j] -= tip * v
+			}
+		}
+		if !unit {
+			d := 1 / t[i*ldt+i]
+			for j := range bi {
+				bi[j] *= d
+			}
+		}
+	}
+}
+
+func seedDgetf2Static(m, n int, a []float64, lda int, ipiv []int, thresh float64) (perturbed []int, firstZero int) {
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	firstZero = -1
+	for j := 0; j < mn; j++ {
+		p := j
+		best := math.Abs(a[j*lda+j])
+		for i := j + 1; i < m; i++ {
+			if v := math.Abs(a[i*lda+j]); v > best {
+				best, p = v, i
+			}
+		}
+		ipiv[j] = p
+		if best == 0 && thresh <= 0 {
+			if firstZero < 0 {
+				firstZero = j
+			}
+			continue
+		}
+		if p != j {
+			Dswap(n, a[j*lda:], 1, a[p*lda:], 1)
+		}
+		piv := a[j*lda+j]
+		if thresh > 0 && math.Abs(piv) < thresh {
+			if math.Signbit(piv) {
+				piv = -thresh
+			} else {
+				piv = thresh
+			}
+			a[j*lda+j] = piv
+			perturbed = append(perturbed, j)
+		}
+		inv := 1 / piv
+		for i := j + 1; i < m; i++ {
+			lij := a[i*lda+j] * inv
+			a[i*lda+j] = lij
+			if lij == 0 {
+				continue
+			}
+			arow := a[i*lda+j+1 : i*lda+n]
+			urow := a[j*lda+j+1 : j*lda+n]
+			for t, v := range urow {
+				arow[t] -= lij * v
+			}
+		}
+	}
+	return perturbed, firstZero
+}
+
+// sparseRandMat draws normal values with ~20% exact zeros (half of
+// them negative zeros) and a sprinkle of tiny magnitudes, so the
+// kernels' exact-zero skip paths and sign handling are exercised.
+func sparseRandMat(m, n int, rng *rand.Rand) []float64 {
+	a := make([]float64, m*n)
+	for i := range a {
+		switch r := rng.Float64(); {
+		case r < 0.1:
+			a[i] = 0
+		case r < 0.2:
+			a[i] = math.Copysign(0, -1)
+		case r < 0.25:
+			a[i] = rng.NormFloat64() * 0x1p-1000
+		default:
+			a[i] = rng.NormFloat64()
+		}
+	}
+	return a
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d = %x (%g), seed %x (%g)",
+				name, i, math.Float64bits(got[i]), got[i],
+				math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+// TestDgemmBitwiseParity pins the packed path (and the small-path
+// dispatch) to the seed kernel across shapes straddling every
+// dispatch and edge-tile boundary.
+func TestDgemmBitwiseParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	shapes := [][3]int{
+		{4, 8, 64},    // exactly one micro-tile, packed cutoff boundary
+		{64, 64, 64},  // packed, full tiles
+		{64, 64, 300}, // multiple KC blocks
+		{129, 17, 261},
+		{5, 11, 300},
+		{67, 130, 129},
+		{100, 8, 4},
+		{256, 256, 256},
+		{3, 300, 300}, // m < MR: scalar path at size
+		{300, 7, 300}, // n < NR: scalar path at size
+	}
+	alphas := []float64{1, -1, 0.5, 0, 2}
+	betas := []float64{1, 0, -1, 0.5}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		a := sparseRandMat(m, k, rng)
+		b := sparseRandMat(k, n, rng)
+		c0 := sparseRandMat(m, n, rng)
+		for _, alpha := range alphas {
+			for _, beta := range betas {
+				c1 := append([]float64(nil), c0...)
+				c2 := append([]float64(nil), c0...)
+				Dgemm(m, n, k, alpha, a, k, b, n, beta, c1, n)
+				seedDgemm(m, n, k, alpha, a, k, b, n, beta, c2, n)
+				bitsEqual(t, "Dgemm", c1, c2)
+			}
+		}
+	}
+}
+
+// TestDtrsmBitwiseParity pins the blocked lower solve (and the
+// untouched upper solve) to the seed kernel.
+func TestDtrsmBitwiseParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, lower := range []bool{true, false} {
+		for _, unit := range []bool{true, false} {
+			for _, m := range []int{1, 16, 32, 33, 64, 200} {
+				for _, n := range []int{1, 8, 50} {
+					tm := sparseRandMat(m, m, rng)
+					for i := 0; i < m; i++ {
+						// Well-scaled diagonal keeps iterated solves finite.
+						tm[i*m+i] = 1 + rng.Float64()
+					}
+					b0 := sparseRandMat(m, n, rng)
+					for _, alpha := range []float64{1, -1, 0.5} {
+						b1 := append([]float64(nil), b0...)
+						b2 := append([]float64(nil), b0...)
+						Dtrsm(lower, unit, m, n, alpha, tm, m, b1, n)
+						seedDtrsm(lower, unit, m, n, alpha, tm, m, b2, n)
+						bitsEqual(t, "Dtrsm", b1, b2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDgetrfStaticBitwiseParity pins the blocked right-looking
+// factorization to the unblocked seed kernel: same factors, pivots,
+// perturbation reports, and first-zero column, bit for bit.
+func TestDgetrfStaticBitwiseParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	shapes := [][2]int{
+		{16, 16}, // below luNB: straight dispatch
+		{96, 64}, // tall, blocked
+		{130, 130},
+		{64, 100}, // wide: trailing columns after the last panel
+		{261, 96},
+	}
+	for _, s := range shapes {
+		m, n := s[0], s[1]
+		for _, thresh := range []float64{0, 1e-8} {
+			a0 := sparseRandMat(m, n, rng)
+			mn := m
+			if n < mn {
+				mn = n
+			}
+			a1 := append([]float64(nil), a0...)
+			a2 := append([]float64(nil), a0...)
+			ipiv1 := make([]int, mn)
+			ipiv2 := make([]int, mn)
+			pbuf := make([]int, mn)
+			np, fz1 := DgetrfStatic(m, n, a1, n, ipiv1, thresh, pbuf)
+			pcols, fz2 := seedDgetf2Static(m, n, a2, n, ipiv2, thresh)
+			bitsEqual(t, "DgetrfStatic factors", a1, a2)
+			if fz1 != fz2 {
+				t.Fatalf("%dx%d thresh=%g: firstZero %d vs seed %d", m, n, thresh, fz1, fz2)
+			}
+			if np != len(pcols) {
+				t.Fatalf("%dx%d thresh=%g: %d perturbations vs seed %d", m, n, thresh, np, len(pcols))
+			}
+			for i := 0; i < np; i++ {
+				if pbuf[i] != pcols[i] {
+					t.Fatalf("%dx%d: perturbed col %d vs seed %d", m, n, pbuf[i], pcols[i])
+				}
+			}
+			for i := range ipiv1 {
+				if ipiv1[i] != ipiv2[i] {
+					t.Fatalf("%dx%d: ipiv[%d] = %d vs seed %d", m, n, i, ipiv1[i], ipiv2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDgetrfStaticZeroPivotParity drives the fail-mode skip and the
+// perturb-mode replacement through the *blocked* path: column 40 (in
+// the middle luNB panel) starts entirely zero and stays exactly zero
+// under elimination (every update subtracts l·0 = ±0), so step 40
+// meets an exactly zero pivot column. In fail mode the skipped
+// column's L part is all zeros, which the later panels' Dtrsm/Dgemm
+// zero-skips must treat identically to the unblocked kernel's skipped
+// eliminations.
+func TestDgetrfStaticZeroPivotParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	m, n := 150, 96
+	base := sparseRandMat(m, n, rng)
+	for i := 0; i < m; i++ {
+		base[i*n+40] = 0
+	}
+	for _, thresh := range []float64{0, 1e-8} {
+		a1 := append([]float64(nil), base...)
+		a2 := append([]float64(nil), base...)
+		ipiv1 := make([]int, n)
+		ipiv2 := make([]int, n)
+		pbuf := make([]int, n)
+		np, fz1 := DgetrfStatic(m, n, a1, n, ipiv1, thresh, pbuf)
+		pcols, fz2 := seedDgetf2Static(m, n, a2, n, ipiv2, thresh)
+		bitsEqual(t, "DgetrfStatic singular factors", a1, a2)
+		if fz1 != fz2 {
+			t.Fatalf("thresh=%g: firstZero %d vs seed %d", thresh, fz1, fz2)
+		}
+		if thresh <= 0 {
+			if fz1 != 40 {
+				t.Fatalf("fail mode firstZero = %d, want 40", fz1)
+			}
+		} else {
+			if fz1 != -1 || np == 0 {
+				t.Fatalf("perturb mode: firstZero=%d nperturbed=%d", fz1, np)
+			}
+		}
+		if np != len(pcols) {
+			t.Fatalf("thresh=%g: %d perturbations vs seed %d", thresh, np, len(pcols))
+		}
+		for i := 0; i < np; i++ {
+			if pbuf[i] != pcols[i] {
+				t.Fatalf("perturbed col %d vs seed %d", pbuf[i], pcols[i])
+			}
+		}
+		for i := range ipiv1 {
+			if ipiv1[i] != ipiv2[i] {
+				t.Fatalf("ipiv[%d] = %d vs seed %d", i, ipiv1[i], ipiv2[i])
+			}
+		}
+	}
+}
+
+// TestMicroKernelAsmMatchesGo pins the assembly micro-kernel to the
+// portable one directly, across k depths and data laced with exact
+// zeros and negative zeros (the masked-skip path) — on platforms
+// without the assembly kernel both calls run the Go kernel and the
+// test is vacuous.
+func TestMicroKernelAsmMatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for _, kc := range []int{1, 2, 7, 128, 261} {
+		pa := sparseRandMat(gemmMR, kc, rng)
+		pb := sparseRandMat(kc, gemmNR, rng)
+		c0 := sparseRandMat(gemmMR, gemmNR, rng)
+		c1 := append([]float64(nil), c0...)
+		c2 := append([]float64(nil), c0...)
+		microKernel4x8(kc, pa, pb, c1, gemmNR)
+		microKernel4x8Go(kc, pa, pb, c2, gemmNR)
+		bitsEqual(t, "microKernel4x8", c1, c2)
+	}
+}

@@ -20,12 +20,12 @@ func TestDgetf2StaticFailModeMatchesDgetf2(t *testing.T) {
 	ipivA := make([]int, 3)
 	ipivB := make([]int, 3)
 	errA := Dgetf2(3, 3, a, 3, ipivA)
-	pcols, firstZero := Dgetf2Static(3, 3, b, 3, ipivB, 0)
+	np, firstZero := Dgetf2Static(3, 3, b, 3, ipivB, 0, nil)
 	if errA != ErrSingular {
 		t.Fatalf("Dgetf2 err = %v, want ErrSingular", errA)
 	}
-	if len(pcols) != 0 {
-		t.Fatalf("fail mode perturbed columns %v", pcols)
+	if np != 0 {
+		t.Fatalf("fail mode perturbed %d columns", np)
 	}
 	if firstZero != 1 {
 		t.Fatalf("firstZero = %d, want 1", firstZero)
@@ -51,13 +51,14 @@ func TestDgetf2StaticPerturbsZeroPivot(t *testing.T) {
 		3, 6, 2,
 	}
 	ipiv := make([]int, 3)
+	pcols := make([]int, 3)
 	thresh := 1e-8
-	pcols, firstZero := Dgetf2Static(3, 3, a, 3, ipiv, thresh)
+	np, firstZero := Dgetf2Static(3, 3, a, 3, ipiv, thresh, pcols)
 	if firstZero != -1 {
 		t.Fatalf("perturb mode reported firstZero = %d", firstZero)
 	}
-	if len(pcols) != 1 || pcols[0] != 1 {
-		t.Fatalf("perturbed columns = %v, want [1]", pcols)
+	if np != 1 || pcols[0] != 1 {
+		t.Fatalf("perturbed columns = %v, want [1]", pcols[:np])
 	}
 	// The perturbed diagonal entry is exactly ±thresh.
 	if got := math.Abs(a[1*3+1]); got != thresh {
@@ -83,8 +84,9 @@ func TestDgetf2StaticSignPreserving(t *testing.T) {
 	} {
 		a := []float64{tc.piv}
 		ipiv := make([]int, 1)
-		pcols, _ := Dgetf2Static(1, 1, a, 1, ipiv, thresh)
-		if len(pcols) != 1 {
+		pcols := make([]int, 1)
+		np, _ := Dgetf2Static(1, 1, a, 1, ipiv, thresh, pcols)
+		if np != 1 {
 			t.Fatalf("pivot %g not perturbed", tc.piv)
 		}
 		if a[0] != tc.want {
@@ -106,9 +108,10 @@ func TestDgetf2StaticLargePivotUntouched(t *testing.T) {
 		t.Fatal(err)
 	}
 	ipiv := make([]int, 2)
-	pcols, _ := Dgetf2Static(2, 2, a, 2, ipiv, 1e-8)
-	if len(pcols) != 0 {
-		t.Fatalf("healthy panel perturbed: %v", pcols)
+	pcols := make([]int, 2)
+	np, _ := Dgetf2Static(2, 2, a, 2, ipiv, 1e-8, pcols)
+	if np != 0 {
+		t.Fatalf("healthy panel perturbed: %v", pcols[:np])
 	}
 	for i := range a {
 		if a[i] != want[i] {

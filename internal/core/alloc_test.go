@@ -1,0 +1,89 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// allocBudget is the fixed engine overhead allowed per execution:
+// worker goroutines, the preallocated ready queues, the canceler and
+// the run closure. It is deliberately far below one allocation per
+// task, so any per-task allocation sneaking back into the numeric hot
+// path (panel buffers, packing scratch, heap boxing) fails the test.
+const allocBudget = 64
+
+// measureExecAllocs runs one numeric phase on a fresh factorization
+// and returns the heap objects allocated during the execution itself.
+func measureExecAllocs(t *testing.T, s *Symbolic, a *sparse.CSC, global bool, procs int) (allocs uint64, tasks int) {
+	t.Helper()
+	f, err := newFactorization(s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := s.Graph.BottomLevels(s.Costs.TaskFlops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := sched.BlockCyclic(s.BlockSym.N, procs)
+	run := f.runTask
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if global {
+		err = sched.ExecuteGlobalCancelable(s.Graph, procs, prio, nil, nil, run)
+	} else {
+		err = sched.ExecuteCancelable(s.Graph, owner, procs, prio, nil, nil, run)
+	}
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return after.Mallocs - before.Mallocs, s.Graph.NumTasks()
+}
+
+// TestNumericPhaseZeroAllocs is the zero-allocation proof of the
+// packed-kernel PR: after one warm-up factorization (which fills the
+// blas packing-scratch pool), the parallel numeric phase — every
+// Factor and Update task at P=4, under both the owner-mapped and the
+// task-level executor — allocates nothing per task. Only the engine's
+// fixed setup (well under allocBudget objects for hundreds of tasks)
+// is tolerated.
+func TestNumericPhaseZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed by the race detector")
+	}
+	const procs = 4
+	a := matgen.Sherman5()
+	opts := DefaultOptions()
+	opts.Workers = procs
+	s, err := Analyze(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: populates the packing-scratch pool and the runtime's
+	// internal caches.
+	if _, err := FactorizeWith(s, a); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		global bool
+	}{
+		{"owner-mapped", false},
+		{"task-level", true},
+	} {
+		allocs, tasks := measureExecAllocs(t, s, a, tc.global, procs)
+		if tasks < 100 {
+			t.Fatalf("%s: only %d tasks; matrix too small for the test to mean anything", tc.name, tasks)
+		}
+		t.Logf("%s: %d allocs across %d tasks (%.4f/task)", tc.name, allocs, tasks, float64(allocs)/float64(tasks))
+		if allocs > allocBudget {
+			t.Errorf("%s: numeric phase allocated %d objects over %d tasks, budget %d — the hot path is allocating per task",
+				tc.name, allocs, tasks, allocBudget)
+		}
+	}
+}

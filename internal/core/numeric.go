@@ -56,12 +56,17 @@ func (e *SingularError) Unwrap() error { return ErrNumericallySingular }
 // operate on.
 type blockCol struct {
 	width     int
-	blockRows []int       // ascending block-row ids present in this column
-	offsets   []int       // row offset of each block within data (parallel to blockRows)
-	offsetOf  map[int]int // block row id -> row offset within data
-	diagIdx   int         // index into blockRows of the diagonal block
-	rows      int         // total scalar rows stacked
-	data      []float64   // rows × width, row-major, lda = width
+	blockRows []int // ascending block-row ids present in this column
+	offsets   []int // row offset of each block within data (parallel to blockRows)
+	// blockOff is the dense block-row directory: blockOff[br] is the row
+	// offset of block row br within data, or -1 when the block is not
+	// present. It replaces a map so the hot update() loop does no
+	// hashing; at one int32 per (block row, block column) pair the whole
+	// directory costs NumBlocks² × 4 bytes, far below the factor storage.
+	blockOff []int32
+	diagIdx  int       // index into blockRows of the diagonal block
+	rows     int       // total scalar rows stacked
+	data     []float64 // rows × width, row-major, lda = width
 }
 
 // panelOffset returns the row offset where the L panel starts.
@@ -94,6 +99,11 @@ type Factorization struct {
 	// pivots were replaced (written only by task F(K), read after the
 	// execution's completion barrier).
 	perturbed [][]int
+	// perturbScratch[K] is the preallocated buffer task F(K) hands to
+	// blas.DgetrfStatic for panel-local perturbation indices, so Factor
+	// tasks allocate nothing. Nil under PivotFail (fail mode never
+	// records perturbations).
+	perturbScratch [][]int
 }
 
 // Singular reports whether any panel hit an exactly zero pivot.
@@ -260,15 +270,19 @@ func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 		c.diagIdx = len(c.blockRows)
 		c.blockRows = append(c.blockRows, lblocks...)
 		c.offsets = make([]int, len(c.blockRows))
-		c.offsetOf = make(map[int]int, len(c.blockRows))
+		c.blockOff = make([]int32, nb)
+		for t := range c.blockOff {
+			c.blockOff[t] = -1
+		}
 		off := 0
 		for t, br := range c.blockRows {
 			c.offsets[t] = off
-			c.offsetOf[br] = off
+			c.blockOff[br] = int32(off)
 			off += part.Size(br)
 		}
 		c.rows = off
 		c.data = make([]float64, off*c.width)
+		f.ipiv[j] = make([]int, c.width)
 
 		// Panel row list (global scalar rows of the L part).
 		pr := make([]int, 0, off-c.panelOffset())
@@ -320,6 +334,10 @@ func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 			anorm = 1
 		}
 		f.pivotTol = math.Sqrt(eps) * anorm
+		f.perturbScratch = make([][]int, nb)
+		for j := 0; j < nb; j++ {
+			f.perturbScratch[j] = make([]int, f.cols[j].width)
+		}
 	}
 	return f, nil
 }
@@ -329,11 +347,11 @@ func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 func (f *Factorization) rowOffset(c *blockCol, g int) (int, error) {
 	part := f.S.Part
 	bi := part.ColToBlock[g]
-	base, ok := c.offsetOf[bi]
-	if !ok {
+	base := c.blockOff[bi]
+	if base < 0 {
 		return 0, fmt.Errorf("block row %d not present", bi)
 	}
-	return base + g - part.BlockStart[bi], nil
+	return int(base) + g - part.BlockStart[bi], nil
 }
 
 // runTask dispatches one task of the dependence graph.
@@ -367,17 +385,20 @@ func (f *Factorization) factorPanel(k int) error {
 	po := c.panelOffset()
 	m := c.rows - po
 	panel := c.data[po*w : c.rows*w]
-	ipiv := make([]int, w)
-	pcols, firstZero := blas.Dgetf2Static(m, w, panel, w, ipiv, f.pivotTol)
-	f.ipiv[k] = ipiv
+	ipiv := f.ipiv[k]
+	var pbuf []int
+	if f.perturbScratch != nil {
+		pbuf = f.perturbScratch[k]
+	}
+	np, firstZero := blas.DgetrfStatic(m, w, panel, w, ipiv, f.pivotTol, pbuf)
 	base := f.S.Part.BlockStart[k]
 	if firstZero >= 0 {
 		f.noteSingular(base + firstZero)
 	}
-	if len(pcols) > 0 {
-		cols := make([]int, len(pcols))
-		for i, lc := range pcols {
-			cols[i] = base + lc
+	if np > 0 {
+		cols := pbuf[:np]
+		for i := range cols {
+			cols[i] += base
 		}
 		f.perturbed[k] = cols
 	}
@@ -417,11 +438,11 @@ func (f *Factorization) update(k, j int) error {
 
 	// 2. U(K,J) ← L(K,K)⁻¹ · B(K,J).
 	diag := colK.data[colK.panelOffset()*wk:]
-	bkjOff, ok := colJ.offsetOf[k]
-	if !ok {
+	bkjOff := colJ.blockOff[k]
+	if bkjOff < 0 {
 		return fmt.Errorf("core: block (%d,%d) missing", k, j)
 	}
-	bkj := colJ.data[bkjOff*wj:]
+	bkj := colJ.data[int(bkjOff)*wj:]
 	blas.Dtrsm(true, true, wk, wj, 1, diag, wk, bkj, wj)
 	// Every stored block is either an L-panel block (checked by its
 	// panel's Factor task) or a U block checked here, right after the
@@ -438,11 +459,11 @@ func (f *Factorization) update(k, j int) error {
 		i := colK.blockRows[t]
 		szI := part.Size(i)
 		lik := colK.data[colK.offsets[t]*wk:]
-		dstOff, ok := colJ.offsetOf[i]
-		if !ok {
+		dstOff := colJ.blockOff[i]
+		if dstOff < 0 {
 			return fmt.Errorf("core: update target block (%d,%d) missing", i, j)
 		}
-		dst := colJ.data[dstOff*wj:]
+		dst := colJ.data[int(dstOff)*wj:]
 		blas.Dgemm(szI, wj, wk, -1, lik, wk, bkj, wj, 1, dst, wj)
 	}
 	return nil

@@ -56,7 +56,7 @@ func ExecuteGlobalCancelable(g *taskgraph.Graph, procs int, prio []float64, rec 
 			return err
 		}
 	}
-	queue := &priorityQueue{prio: prio}
+	queue := &priorityQueue{prio: prio, ids: make([]int, 0, g.NumTasks())}
 	return executeWorkers(g, procs, rec, cancel,
 		func(int) *priorityQueue { return queue },
 		func(int) *priorityQueue { return queue },

@@ -11,7 +11,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -124,7 +123,10 @@ func TaskOwners(g *taskgraph.Graph, owner Assignment) []int {
 	return out
 }
 
-// priorityQueue is a max-heap of task ids by priority, ties by id.
+// priorityQueue is a max-heap of task ids by priority, ties by id,
+// operated by heapPush/heapPopID (simulate.go). The int-typed helpers
+// avoid container/heap's interface boxing, which would allocate on
+// every push inside the worker loop.
 type priorityQueue struct {
 	ids  []int
 	prio []float64
@@ -139,14 +141,6 @@ func (q *priorityQueue) Less(i, j int) bool {
 	return a < b
 }
 func (q *priorityQueue) Swap(i, j int) { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
-func (q *priorityQueue) Push(x any)    { q.ids = append(q.ids, x.(int)) }
-func (q *priorityQueue) Pop() any {
-	old := q.ids
-	n := len(old)
-	x := old[n-1]
-	q.ids = old[:n-1]
-	return x
-}
 
 // Execute runs every task of g exactly once with the dependence order
 // respected, using one goroutine per processor and the 1-D ownership
@@ -191,9 +185,16 @@ func ExecuteCancelable(g *taskgraph.Graph, owner Assignment, procs int, prio []f
 		}
 	}
 	taskOwner := TaskOwners(g, owner)
+	// Per-owner queue capacities are known up front; preallocating them
+	// keeps the worker loop's heapPush calls allocation-free.
+	count := make([]int, procs)
+	for _, p := range taskOwner {
+		count[p]++
+	}
 	queues := make([]priorityQueue, procs)
 	for p := range queues {
 		queues[p].prio = prio
+		queues[p].ids = make([]int, 0, count[p])
 	}
 	return executeWorkers(g, procs, rec, cancel,
 		func(p int) *priorityQueue { return &queues[p] },
@@ -238,7 +239,7 @@ func executeWorkers(g *taskgraph.Graph, procs int, rec *trace.Recorder, cancel *
 	mu.Lock()
 	for id, d := range indeg {
 		if d == 0 {
-			heap.Push(queueFor(id), id)
+			heapPush(queueFor(id), id)
 		}
 	}
 	mu.Unlock()
@@ -258,7 +259,7 @@ func executeWorkers(g *taskgraph.Graph, procs int, rec *trace.Recorder, cancel *
 					mu.Unlock()
 					return
 				}
-				id := heap.Pop(q).(int)
+				id := heapPopID(q)
 				mu.Unlock()
 
 				var err error
@@ -297,7 +298,7 @@ func executeWorkers(g *taskgraph.Graph, procs int, rec *trace.Recorder, cancel *
 				for _, s := range g.Succ[id] {
 					indeg[s]--
 					if indeg[s] == 0 {
-						heap.Push(queueFor(int(s)), int(s))
+						heapPush(queueFor(int(s)), int(s))
 					}
 				}
 				cond.Broadcast()
