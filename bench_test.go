@@ -372,7 +372,8 @@ func BenchmarkAblation2DMapping(b *testing.B) {
 	})
 }
 
-// BenchmarkSolve measures the triangular-solve phase.
+// BenchmarkSolve measures the level-scheduled triangular-solve phase
+// at P ∈ {1, 4} solve workers (single right-hand side).
 func BenchmarkSolve(b *testing.B) {
 	spec := benchSuite()[0]
 	a := spec.Gen()
@@ -384,10 +385,58 @@ func BenchmarkSolve(b *testing.B) {
 	for i := range rhs {
 		rhs[i] = 1
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := f.Solve(rhs); err != nil {
-			b.Fatal(err)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%s/P=%d", spec.Name, p), func(b *testing.B) {
+			f.S.Opts.SolveWorkers = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Solve(rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveMany measures the blocked multi-RHS path (16
+// right-hand sides through the BLAS-3 panel sweeps) against the
+// loop-of-Solves baseline it replaces. The blocked path at P=1 versus
+// the scalar loop is the headline number of the solve-engine PR.
+func BenchmarkSolveMany(b *testing.B) {
+	const nrhs = 16
+	spec := benchSuite()[0]
+	a := spec.Gen()
+	f, err := core.Factorize(a, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := make([][]float64, nrhs)
+	for r := range bs {
+		bs[r] = make([]float64, a.NCols)
+		for i := range bs[r] {
+			bs[r][i] = float64(r + i%5)
 		}
+	}
+	b.Run(fmt.Sprintf("%s/loop-of-solves", spec.Name), func(b *testing.B) {
+		f.S.Opts.SolveWorkers = 1
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := range bs {
+				if _, err := f.Solve(bs[r]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%s/blocked/P=%d", spec.Name, p), func(b *testing.B) {
+			f.S.Opts.SolveWorkers = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.SolveMany(bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

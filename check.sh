@@ -62,6 +62,11 @@ bench() {
 		-benchtime "${SPARSELU_KERNEL_BENCHTIME:-300ms}" \
 		./internal/blas/ | tee bench-out/kernel-bench.txt
 
+	echo "==> solve benchmarks (output kept as CI artifact)"
+	go test -run '^$' -bench 'BenchmarkSolve$|BenchmarkSolveMany$' \
+		-benchtime "${SPARSELU_KERNEL_BENCHTIME:-300ms}" \
+		. | tee bench-out/solve-bench.txt
+
 	echo "==> paperbench (small suite, regression gate)"
 	go run ./cmd/paperbench \
 		-bench bench-out/BENCH_small.json \

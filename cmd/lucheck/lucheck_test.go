@@ -103,7 +103,7 @@ func TestFixtureViolations(t *testing.T) {
 		"lock-discipline":  1,
 		"worker-timing":    1,
 		"worker-exit":      2,
-		"hot-alloc":        3,
+		"hot-alloc":        4,
 	}
 	for rule, n := range want {
 		if got[rule] != n {
@@ -168,29 +168,65 @@ func TestHotAllocWorkerScope(t *testing.T) {
 		t.Fatalf("worker-scoped hot-alloc: got %d findings, want 2 (goroutine body only):\n%v", len(hot), hot)
 	}
 
-	// The two findings must be the goroutine-body make and append, not
-	// the top-level make: locate the lines from the fixture source.
-	data := readFixture(t)
-	goroutineLines := map[int]bool{}
-	var topLevelMake int
-	for i, line := range strings.Split(data, "\n") {
-		if !strings.Contains(line, "// want hot-alloc") {
-			continue
-		}
-		if strings.Contains(line, "local") {
-			goroutineLines[i+1] = true
-		} else {
-			topLevelMake = i + 1
-		}
-	}
+	// The two findings must be the goroutine-body make and append ("local"
+	// lines), not the top-level make ("buf") and not the sched-closure
+	// make ("scratch"): locate the lines from the fixture source.
+	goroutineLines := fixtureLines(t, "local")
 	for _, f := range hot {
-		if f.pos.Line == topLevelMake {
-			t.Errorf("top-level make at line %d flagged under worker scoping: %s", topLevelMake, f)
-		}
 		if !goroutineLines[f.pos.Line] {
-			t.Errorf("finding at unexpected line %d: %s", f.pos.Line, f)
+			t.Errorf("finding at unexpected line %d (only goroutine-body allocations may fire under worker scoping): %s", f.pos.Line, f)
 		}
 	}
+}
+
+// TestHotAllocSchedClosureScope pins the sched-client scoping: with the
+// fixture scoped only as a sched client, exactly the allocation inside
+// the closure passed to sched.ExecuteLevels fires — the top-level make
+// and the goroutine-body allocations are out of that rule's sight.
+func TestHotAllocSchedClosureScope(t *testing.T) {
+	pkgs, fset, mod := loadOnce(t)
+	var bad *pkgInfo
+	for _, pi := range pkgs {
+		if pi.path == fixturePath {
+			bad = pi
+		}
+	}
+	if bad == nil {
+		t.Fatal("fixture package not loaded")
+	}
+
+	cfg := defaultConfig(mod)
+	cfg.schedClients[fixturePath] = true // sched-closure scan only
+
+	var hot []finding
+	for _, f := range analyzePkg(fset, bad, cfg) {
+		if f.rule == "hot-alloc" {
+			hot = append(hot, f)
+		}
+	}
+	if len(hot) != 1 {
+		t.Fatalf("sched-client hot-alloc: got %d findings, want 1 (the sched worker body only):\n%v", len(hot), hot)
+	}
+	schedLines := fixtureLines(t, "scratch")
+	if !schedLines[hot[0].pos.Line] {
+		t.Errorf("finding at unexpected line %d: %s", hot[0].pos.Line, hot[0])
+	}
+}
+
+// fixtureLines returns the line numbers of the fixture's hot-alloc
+// `want` markers whose line contains the given substring.
+func fixtureLines(t *testing.T, substr string) map[int]bool {
+	t.Helper()
+	lines := map[int]bool{}
+	for i, line := range strings.Split(readFixture(t), "\n") {
+		if strings.Contains(line, "// want hot-alloc") && strings.Contains(line, substr) {
+			lines[i+1] = true
+		}
+	}
+	if len(lines) == 0 {
+		t.Fatalf("no hot-alloc want markers containing %q in the fixture", substr)
+	}
+	return lines
 }
 
 // TestExitNonZeroOnViolations runs the built checker against a

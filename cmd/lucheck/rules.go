@@ -39,7 +39,12 @@ package main
 //     or append at all — kernel scratch comes from the packing-scratch
 //     pool, everything else from caller-provided buffers. In the worker
 //     packages the same ban applies inside goroutine bodies launched
-//     with `go func`, where an allocation would run once per task.
+//     with `go func`, where an allocation would run once per task. In
+//     the sched-client packages (internal/core) it also applies inside
+//     function literals handed to the sched executors
+//     (sched.Execute*) — those closures are the per-task worker bodies
+//     of the numeric and solve hot paths even though the `go` statement
+//     lives in internal/sched.
 
 import (
 	"fmt"
@@ -78,6 +83,10 @@ type config struct {
 	// goroutine-body variant unless they are also hotpath (whole-file
 	// subsumes it).
 	hotpath map[string]bool
+	// schedClients packages get the hot-alloc rule inside function
+	// literals passed to the sched executors (their per-task worker
+	// bodies), unless they are also hotpath.
+	schedClients map[string]bool
 }
 
 // defaultConfig is the rule scoping for this repository.
@@ -100,6 +109,9 @@ func defaultConfig(modPath string) *config {
 		},
 		hotpath: map[string]bool{
 			p("internal/blas"): true,
+		},
+		schedClients: map[string]bool{
+			p("internal/core"): true,
 		},
 	}
 }
@@ -135,12 +147,17 @@ func analyzePkg(fset *token.FileSet, pi *pkgInfo, cfg *config) []finding {
 			p.workerTiming(f)
 			p.workerExit(f)
 		}
-		// Whole-file hot-alloc takes precedence over the goroutine-body
-		// variant so a package in both sets is not double-reported.
+		// Whole-file hot-alloc takes precedence over the narrower scans
+		// so a package in several sets is not double-reported.
 		if cfg.hotpath[pi.path] {
 			p.hotAllocFile(f)
-		} else if cfg.workers[pi.path] {
-			p.hotAllocGoroutines(f)
+		} else {
+			if cfg.workers[pi.path] {
+				p.hotAllocGoroutines(f)
+			}
+			if cfg.schedClients[pi.path] {
+				p.hotAllocSchedClosures(f)
+			}
 		}
 	}
 	return p.findings
@@ -480,6 +497,36 @@ func (p *pass) hotAllocGoroutines(f *ast.File) {
 		}
 		if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
 			p.hotAllocIn(fl.Body, "in a worker goroutine runs once per task; hoist it to setup")
+		}
+		return true
+	})
+}
+
+// hotAllocSchedClosures applies the hot-alloc ban inside function
+// literals passed directly to the sched executors (sched.Execute*):
+// those closures are the per-task worker bodies of the numeric and
+// solve hot paths — the executor calls them once per task from its
+// worker goroutines — even though the `go` statement itself lives in
+// internal/sched, out of the goroutine-body scan's sight.
+func (p *pass) hotAllocSchedClosures(f *ast.File) {
+	schedPath := p.cfg.modPath + "/internal/sched"
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !strings.HasPrefix(sel.Sel.Name, "Execute") {
+			return true
+		}
+		obj := p.pi.info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != schedPath {
+			return true
+		}
+		for _, arg := range call.Args {
+			if fl, ok := arg.(*ast.FuncLit); ok {
+				p.hotAllocIn(fl.Body, "in a sched worker body runs once per task; use a pooled workspace or hoist it to setup")
+			}
 		}
 		return true
 	})

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/sparse"
 )
 
@@ -103,6 +104,19 @@ func HotAlloc(n int) float64 {
 	}()
 	wg.Wait()
 	return buf[0] + setup[0]
+}
+
+// SchedWorkerAlloc allocates inside a closure handed to a sched
+// executor: scoped as a sched-client package, the make inside the
+// worker body fires even though no `go` statement appears here (the
+// executor launches the goroutines). Scoped only as a workers package
+// it stays silent (see TestHotAllocSchedClosureScope); scoped as a
+// hot-path package the whole-file scan reports it like any other.
+func SchedWorkerAlloc(lv *sched.Levels, results []float64) {
+	sched.ExecuteLevels(lv, 2, func(worker, task int) {
+		scratch := make([]float64, task+1) // want hot-alloc
+		results[task] = float64(len(scratch))
+	})
 }
 
 // ExitingWorker terminates the process from worker goroutines instead

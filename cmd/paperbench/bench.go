@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -64,6 +65,11 @@ type benchReport struct {
 	// dtrsm_256, panel_lu_1024x64); the comparator gates their seconds
 	// at the same tolerance as the suite totals.
 	Kernels map[string]kernelEntry `json:"kernels"`
+	// Solves holds the triangular-solve measurements, two per matrix
+	// (<matrix>_solve_1rhs and <matrix>_solve_16rhs, the blocked
+	// multi-RHS panel path), gated like the kernels. They pin the solve
+	// engine's throughput independently of the factorization above it.
+	Solves map[string]kernelEntry `json:"solves"`
 }
 
 // runBench executes the suite and writes the report to outPath. When
@@ -78,6 +84,7 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 		Reps:             reps,
 		Procs:            procs,
 		TotalWallSeconds: make(map[string]float64),
+		Solves:           make(map[string]kernelEntry),
 	}
 	maxProcs := procs[len(procs)-1]
 	var artifactEvents []trace.Event
@@ -135,6 +142,23 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 				artifactWorkers = p
 			}
 		}
+
+		// Solve-phase entries, measured at one solve worker (CI hosts
+		// are often single-core; the multi-worker solve contract is
+		// bitwise determinism, pinned by tests, not wall time here).
+		srun := *s
+		srun.Opts.Workers = 1
+		srun.Opts.SolveWorkers = 1
+		sf, err := core.FactorizeWith(&srun, a)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		one, many, err := runSolveBench(sf, float64(srun.Stats.NNZFactors), reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s solve: %w", spec.Name, err)
+		}
+		report.Solves[spec.Name+"_solve_1rhs"] = one
+		report.Solves[spec.Name+"_solve_16rhs"] = many
 	}
 
 	report.Kernels = runKernelBench(reps)
@@ -237,6 +261,54 @@ func runKernelBench(reps int) map[string]kernelEntry {
 	return out
 }
 
+// runSolveBench measures the triangular-solve phase of one factored
+// matrix: a single right-hand side through Solve and a blocked 16-RHS
+// panel through SolveMany. One solve is tens of microseconds, far too
+// short to time alone, so each repetition times a 32-call loop; and
+// unlike the kernel benches the timed region allocates (the result
+// slices the API hands back), so a GC pause can land inside it —
+// each measurement forces a collection first and takes the min of
+// 3·reps repetitions (still well under a second per matrix) to keep
+// scheduler and GC noise inside the comparator's tolerance. Flops are
+// the classic 2·|Ā| of the two sweeps, per right-hand side.
+func runSolveBench(f *core.Factorization, nnzFactors float64, reps int) (one, many kernelEntry, err error) {
+	const (
+		nrhs  = 16
+		calls = 32
+	)
+	n := f.S.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + float64(i%3)
+	}
+	bs := make([][]float64, nrhs)
+	for r := range bs {
+		bs[r] = b
+	}
+	measure := func(flops float64, run func() error) (kernelEntry, error) {
+		runtime.GC()
+		best := -1.0
+		for rep := 0; rep < 3*reps; rep++ {
+			start := time.Now()
+			for c := 0; c < calls; c++ {
+				if err := run(); err != nil {
+					return kernelEntry{}, err
+				}
+			}
+			wall := time.Since(start).Seconds() / calls
+			if best < 0 || wall < best {
+				best = wall
+			}
+		}
+		return kernelEntry{Seconds: best, GFlops: flops / best / 1e9}, nil
+	}
+	if one, err = measure(2*nnzFactors, func() error { _, e := f.Solve(b); return e }); err != nil {
+		return
+	}
+	many, err = measure(2*nnzFactors*nrhs, func() error { _, e := f.SolveMany(bs); return e })
+	return
+}
+
 func writeJSON(path string, v any) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -300,6 +372,31 @@ func compareBench(cur *benchReport, path string, tol float64) error {
 			failures = append(failures, fmt.Sprintf("kernel %s: %.6fs vs baseline %.6fs (%.0f%%)", name, now.Seconds, was.Seconds, 100*(ratio-1)))
 		}
 		fmt.Printf("compare: kernel %s %.2f GFLOPS (%.6fs), baseline %.6fs (%+.0f%%) %s\n",
+			name, now.GFlops, now.Seconds, was.Seconds, 100*(ratio-1), status)
+	}
+	// Solve gate: same shape as the kernel gate — per-entry seconds at
+	// the shared tolerance, entries absent from the baseline reported
+	// as new without failing (so adding a matrix or a solve shape does
+	// not require a flag-day baseline).
+	names = names[:0]
+	for name := range cur.Solves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		now := cur.Solves[name]
+		was, ok := base.Solves[name]
+		if !ok {
+			fmt.Printf("compare: solve %s has no baseline (new entry)\n", name)
+			continue
+		}
+		ratio := now.Seconds / was.Seconds
+		status := "ok"
+		if now.Seconds > was.Seconds*(1+tol) {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("solve %s: %.6fs vs baseline %.6fs (%.0f%%)", name, now.Seconds, was.Seconds, 100*(ratio-1)))
+		}
+		fmt.Printf("compare: solve %s %.2f GFLOPS (%.6fs), baseline %.6fs (%+.0f%%) %s\n",
 			name, now.GFlops, now.Seconds, was.Seconds, 100*(ratio-1), status)
 	}
 	if failures != nil {

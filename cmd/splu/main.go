@@ -29,6 +29,7 @@ func main() {
 		matrixPath = flag.String("matrix", "", "MatrixMarket file to factor")
 		gen        = flag.String("gen", "", "generate a benchmark matrix (sherman3, sherman5, lnsp3937, lns3937, orsreg1, saylr4, goodwin)")
 		workers    = flag.Int("workers", 1, "parallel workers for the numeric phase")
+		solveWork  = flag.Int("solveworkers", 0, "parallel workers for the triangular solves (0 inherits -workers)")
 		postorder  = flag.Bool("postorder", true, "postorder the LU elimination forest")
 		taskGraph  = flag.String("taskgraph", "eforest", "task dependence graph: eforest or sstar")
 		ordFlag    = flag.String("ordering", "mindeg", "fill-reducing ordering: mindeg, natural or rcm")
@@ -51,13 +52,20 @@ func main() {
 
 	opts := sparselu.DefaultOptions()
 	opts.Workers = *workers
+	opts.SolveWorkers = *solveWork
 	opts.Postorder = *postorder
 	opts.MaxSupernode = *maxSN
 	opts.Equilibrate = *equil
 	opts.Verify = *verifyInv
 	var rec *trace.Recorder
 	if *tracePath != "" {
-		rec = trace.New(*workers)
+		// Size the recorder for whichever phase uses more workers so
+		// the solve sweeps are recorded too.
+		traceWorkers := *workers
+		if sw := *solveWork; sw > traceWorkers {
+			traceWorkers = sw
+		}
+		rec = trace.New(traceWorkers)
 		opts.Trace = rec
 	}
 	opts.Timeout = *timeout
@@ -117,12 +125,6 @@ func main() {
 		fmt.Printf("pivot perturbations: %d (threshold %.3g); use -refine to recover accuracy\n", np, f.PivotThreshold())
 	}
 
-	if rec != nil {
-		if err := reportTrace(*tracePath, rec, analysis); err != nil {
-			fatalf("trace: %v", err)
-		}
-	}
-
 	b := makeRHS(*rhs, m.Order())
 	t0 = time.Now()
 	var x []float64
@@ -143,6 +145,14 @@ func main() {
 		fmt.Printf("triangular solves: %v\n", time.Since(t0).Round(time.Microsecond))
 	}
 	fmt.Printf("backward error: %.3g\n", sparselu.Residual(m, x, b))
+
+	// The trace is reported after the solve so the solveL/solveU sweep
+	// events land in the same file as the factorization tasks.
+	if rec != nil {
+		if err := reportTrace(*tracePath, rec, analysis); err != nil {
+			fatalf("trace: %v", err)
+		}
+	}
 
 	if *diagnose {
 		if k, err := f.ConditionEstimate(); err == nil {

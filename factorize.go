@@ -88,6 +88,17 @@ type Options struct {
 	// Workers is the number of parallel workers for the numeric phase
 	// (values below 1 mean serial execution).
 	Workers int
+	// SolveWorkers is the number of parallel workers for the
+	// triangular solves (Solve, SolveMany, SolveTranspose,
+	// SolveRefined, ConditionEstimate). 0 (the default) inherits
+	// Workers. The solves execute one task per block column on
+	// level-set schedules derived at analysis time and their results
+	// are bitwise identical to the serial sweeps at every worker
+	// count, so this is purely a latency knob. Solve scratch comes
+	// from a pooled per-factorization workspace (core.SolveWorkspace):
+	// after warm-up, solves allocate nothing beyond their result
+	// slices, and concurrent solves on one factorization are safe.
+	SolveWorkers int
 	// MaxSupernode caps the supernode width during amalgamation
 	// (0 means 32).
 	MaxSupernode int
@@ -147,10 +158,11 @@ func (o *Options) toCore() *core.Options {
 		tg = taskgraph.SStar
 	}
 	return &core.Options{
-		Ordering:  ord,
-		Postorder: o.Postorder,
-		TaskGraph: tg,
-		Workers:   o.Workers,
+		Ordering:     ord,
+		Postorder:    o.Postorder,
+		TaskGraph:    tg,
+		Workers:      o.Workers,
+		SolveWorkers: o.SolveWorkers,
 		Amalgamation: supernode.AmalgamationOptions{
 			MaxSize: o.MaxSupernode,
 			MaxFill: o.AmalgamationFill,
@@ -252,18 +264,29 @@ func Factorize(m *Matrix, opts *Options) (*Factorization, error) {
 	return &Factorization{f: f, m: m}, nil
 }
 
-// Solve solves A·x = b. b is not modified.
+// Solve solves A·x = b. b is not modified. The triangular sweeps run
+// in parallel on Options.SolveWorkers workers (level-scheduled over
+// the block columns) and the result is bitwise identical to the
+// serial sweeps at every worker count; scratch comes from the
+// factorization's pooled solve workspace, so steady-state solves
+// allocate only the returned slice.
 func (f *Factorization) Solve(b []float64) ([]float64, error) {
 	return f.f.Solve(b)
 }
 
 // SolveMany solves A·X = B for several right-hand sides with blocked
-// BLAS-3 triangular sweeps.
+// BLAS-3 triangular sweeps: B is packed once into a dense n×nrhs
+// panel in the pooled solve workspace and each block-column task runs
+// Dtrsm/Dgemm across all right-hand sides, which is substantially
+// faster than repeated Solve calls once nrhs is more than a couple.
+// Parallelism and bitwise determinism follow Solve.
 func (f *Factorization) SolveMany(bs [][]float64) ([][]float64, error) {
 	return f.f.SolveMany(bs)
 }
 
-// SolveTranspose solves Aᵀ·x = b. b is not modified.
+// SolveTranspose solves Aᵀ·x = b. b is not modified. It runs on the
+// transpose level schedules with the same worker count, workspace and
+// bitwise-determinism guarantees as Solve.
 func (f *Factorization) SolveTranspose(b []float64) ([]float64, error) {
 	return f.f.SolveTranspose(b)
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/etree"
 	"repro/internal/ordering"
+	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/supernode"
 	"repro/internal/symbolic"
@@ -41,6 +42,21 @@ type Symbolic struct {
 	Graph *taskgraph.Graph
 	// Costs estimates per-task flops for scheduling and simulation.
 	Costs *taskgraph.CostModel
+	// SolveFwd and SolveBwd are the level-set schedules of the
+	// triangular solves' forward (L̄) and backward (Ū) sweeps: one task
+	// per block column, with columns touching a common block row
+	// chained in serial sweep order (see solvegraph.go). Executing the
+	// levels with barriers reproduces the serial sweeps bitwise at any
+	// worker count.
+	SolveFwd, SolveBwd *sched.Levels
+	// SolveFwdT and SolveBwdT are the transpose-solve schedules: the
+	// edge-reversed (Reversed) forms of SolveBwd and SolveFwd — the
+	// Ûᵀ sweep ascends the U chains, the Lᵀ sweep descends the L ones.
+	SolveFwdT, SolveBwdT *sched.Levels
+	// SolvePerm is RowPerm composed with SymPerm — the permutation the
+	// solves apply to a right-hand side in one pass:
+	// y[SolvePerm[i]] = b[i].
+	SolvePerm sparse.Perm
 	// Stats summarizes the analysis.
 	Stats AnalysisStats
 	// Opts records the options the analysis ran with.
@@ -126,6 +142,14 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 	graph := taskgraph.New(blockSym, blockForest, o.TaskGraph)
 	costs := taskgraph.NewCostModel(graph, blockSym, part)
 
+	// Step 7: level-set schedules of the triangular-solve sweeps. Like
+	// everything above they depend only on the structure, so one
+	// analysis amortizes them over every factorization and solve.
+	solveFwd, solveBwd, err := solveSchedules(blockSym)
+	if err != nil {
+		return nil, err
+	}
+
 	cp, total, err := graph.CriticalPath(costs.TaskFlops)
 	if err != nil {
 		return nil, fmt.Errorf("core: task graph: %w", err)
@@ -153,6 +177,11 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 		BlockForest: blockForest,
 		Graph:       graph,
 		Costs:       costs,
+		SolveFwd:    solveFwd,
+		SolveBwd:    solveBwd,
+		SolveFwdT:   solveBwd.Reversed(),
+		SolveBwdT:   solveFwd.Reversed(),
+		SolvePerm:   tr.RowPerm.Compose(symPerm),
 		Opts:        *o,
 		Stats: AnalysisStats{
 			N:            n,

@@ -65,6 +65,14 @@ type Options struct {
 	// Workers is the number of parallel workers for the numeric phase;
 	// values < 1 mean 1.
 	Workers int
+	// SolveWorkers is the number of parallel workers for the triangular
+	// solves (Solve, SolveMany, SolveTranspose and everything routed
+	// through them: SolveRefined, CondEstimate1). 0 (the default)
+	// inherits Workers; values < 0 mean 1. The solves run one task per
+	// block column on the level-set schedules of Symbolic.SolveFwd/
+	// SolveBwd and are bitwise identical to the serial sweeps at every
+	// worker count.
+	SolveWorkers int
 	// Amalgamation tunes supernode amalgamation.
 	Amalgamation supernode.AmalgamationOptions
 	// Equilibrate scales rows and columns to unit maxima before

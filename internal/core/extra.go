@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // SolveTranspose solves Aᵀ·x = b for the original matrix. b is not
@@ -15,6 +16,12 @@ import (
 // system A₂ᵀ·z = P_c·b is solved by a forward sweep with Ûᵀ followed by
 // the reversed product of L_kᵀ and the pivot interchanges, and finally
 // x = P_rᵀ·P_cᵀ·z.
+//
+// Like Solve, the sweeps run one task per block column on the
+// transpose level schedules (Symbolic.SolveFwdT/SolveBwdT — the
+// edge-reversed forms of the backward/forward ones) with
+// Options.SolveWorkers workers, bitwise identical to the serial
+// transpose sweeps at every worker count.
 func (f *Factorization) SolveTranspose(b []float64) ([]float64, error) {
 	if len(b) != f.S.N {
 		return nil, fmt.Errorf("core: rhs has length %d, want %d", len(b), f.S.N)
@@ -24,63 +31,86 @@ func (f *Factorization) SolveTranspose(b []float64) ([]float64, error) {
 	}
 	// With equilibration, (R·A₂·C)ᵀ·z = C·P_sym b and x comes back as
 	// P_rᵀP_cᵀ(R·z).
-	y := f.S.SymPerm.Apply(b)
+	ws := f.getWorkspace()
+	y := ws.panel(f.S.N)
+	for i, v := range b {
+		y[f.S.SymPerm[i]] = v
+	}
 	if f.cscale != nil {
 		for i := range y {
 			y[i] *= f.cscale[i]
 		}
 	}
-	f.solveTransposeInPlace(y)
+	procs := f.solveProcs()
+	f.runSweep(f.S.SolveFwdT, procs, trace.KindSolveU, func(k int) { f.fwdStepT(k, y) })
+	f.runSweep(f.S.SolveBwdT, procs, trace.KindSolveL, func(k int) { f.bwdStepT(k, y) })
 	if f.rscale != nil {
 		for i := range y {
 			y[i] *= f.rscale[i]
 		}
 	}
-	return f.S.RowPerm.ApplyInverse(f.S.SymPerm.ApplyInverse(y)), nil
+	// x = P_rᵀ·P_cᵀ·y gathers through the composed permutation.
+	x := make([]float64, f.S.N)
+	for i := range x {
+		x[i] = y[f.S.SolvePerm[i]]
+	}
+	f.putWorkspace(ws)
+	return x, nil
 }
 
+// solveTransposeInPlace runs the transpose sweeps in plain serial
+// column order — the bitwise reference of the level-scheduled path.
 func (f *Factorization) solveTransposeInPlace(y []float64) {
-	part := f.S.Part
 	nb := f.S.BlockSym.N
-
-	// Forward sweep with Ûᵀ (lower triangular): for ascending K,
-	// subtract the contributions of the U blocks above the diagonal,
-	// then solve with the transposed diagonal U factor.
 	for k := 0; k < nb; k++ {
-		c := &f.cols[k]
-		w := c.width
-		lo, _ := part.Range(k)
-		yk := y[lo : lo+w]
-		for t := 0; t < c.diagIdx; t++ {
-			i := c.blockRows[t]
-			ilo, ihi := part.Range(i)
-			// y_K ← y_K − U(I,K)ᵀ·y_I
-			blas.Dgemv(true, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, y[ilo:ihi], 1, yk)
-		}
-		diag := c.data[c.panelOffset()*w:]
-		blas.Dtrsvt(false, false, w, diag, w, yk) // (upper U)ᵀ solve
+		f.fwdStepT(k, y)
 	}
-
-	// Backward sweep with the L factors and interchanges, reversed: for
-	// descending K, solve L_Kᵀ and then undo σ_K (apply its swaps in
-	// reverse order).
 	for k := nb - 1; k >= 0; k-- {
-		c := &f.cols[k]
-		w := c.width
-		lo, _ := part.Range(k)
-		yk := y[lo : lo+w]
-		for t := c.diagIdx + 1; t < len(c.blockRows); t++ {
-			i := c.blockRows[t]
-			ilo, ihi := part.Range(i)
-			blas.Dgemv(true, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, y[ilo:ihi], 1, yk)
-		}
-		diag := c.data[c.panelOffset()*w:]
-		blas.Dtrsvt(true, true, w, diag, w, yk) // (unit lower L)ᵀ solve
-		prows := f.panelRows[k]
-		for lc := len(f.ipiv[k]) - 1; lc >= 0; lc-- {
-			if r := f.ipiv[k][lc]; r != lc {
-				y[prows[lc]], y[prows[r]] = y[prows[r]], y[prows[lc]]
-			}
+		f.bwdStepT(k, y)
+	}
+}
+
+// fwdStepT is the transpose forward-sweep task of block column k (the
+// Ûᵀ sweep, lower triangular): subtract the contributions of the U
+// blocks above the diagonal, then solve with the transposed diagonal U
+// factor. It reads the block rows of Ū's column k and writes only
+// block k — the same touched set as bwdStep, visited in the opposite
+// column order, which is why it runs on SolveBwd.Reversed().
+func (f *Factorization) fwdStepT(k int, y []float64) {
+	c := &f.cols[k]
+	w := c.width
+	lo, _ := f.S.Part.Range(k)
+	yk := y[lo : lo+w]
+	for t := 0; t < c.diagIdx; t++ {
+		i := c.blockRows[t]
+		ilo, ihi := f.S.Part.Range(i)
+		// y_K ← y_K − U(I,K)ᵀ·y_I
+		blas.Dgemv(true, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, y[ilo:ihi], 1, yk)
+	}
+	diag := c.data[c.panelOffset()*w:]
+	blas.Dtrsvt(false, false, w, diag, w, yk) // (upper U)ᵀ solve
+}
+
+// bwdStepT is the transpose backward-sweep task of block column k:
+// solve L_Kᵀ and then undo σ_K (apply its swaps in reverse order). It
+// touches the block rows of L̄'s column k — fwdStep's set, descending —
+// so it runs on SolveFwd.Reversed().
+func (f *Factorization) bwdStepT(k int, y []float64) {
+	c := &f.cols[k]
+	w := c.width
+	lo, _ := f.S.Part.Range(k)
+	yk := y[lo : lo+w]
+	for t := c.diagIdx + 1; t < len(c.blockRows); t++ {
+		i := c.blockRows[t]
+		ilo, ihi := f.S.Part.Range(i)
+		blas.Dgemv(true, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, y[ilo:ihi], 1, yk)
+	}
+	diag := c.data[c.panelOffset()*w:]
+	blas.Dtrsvt(true, true, w, diag, w, yk) // (unit lower L)ᵀ solve
+	prows := f.panelRows[k]
+	for lc := len(f.ipiv[k]) - 1; lc >= 0; lc-- {
+		if r := f.ipiv[k][lc]; r != lc {
+			y[prows[lc]], y[prows[r]] = y[prows[r]], y[prows[lc]]
 		}
 	}
 }

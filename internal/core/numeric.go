@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,6 +105,10 @@ type Factorization struct {
 	// tasks allocate nothing. Nil under PivotFail (fail mode never
 	// records perturbations).
 	perturbScratch [][]int
+	// solveWS pools the SolveWorkspace panels of the solve hot path;
+	// concurrent solves on one factorization each check out their own,
+	// so steady-state solves allocate nothing beyond their results.
+	solveWS sync.Pool
 }
 
 // Singular reports whether any panel hit an exactly zero pivot.

@@ -5,11 +5,83 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/sched"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
+
+// SolveWorkspace is the reusable scratch of the solve hot path: the
+// permuted right-hand-side panel the triangular sweeps run on in
+// place. Each Factorization keeps a pool of workspaces (concurrent
+// solves each check one out and return it), so after the first solve
+// of each shape the hot path allocates nothing beyond the result
+// slices the API hands back — the multi-RHS analogue of the numeric
+// phase's pooled pack buffers.
+type SolveWorkspace struct {
+	buf []float64
+}
+
+// panel returns the workspace buffer resized to n elements, growing
+// the backing array only when a larger panel than any before is
+// requested.
+func (ws *SolveWorkspace) panel(n int) []float64 {
+	if cap(ws.buf) < n {
+		ws.buf = make([]float64, n)
+	}
+	return ws.buf[:n]
+}
+
+// getWorkspace checks a workspace out of the factorization's pool.
+func (f *Factorization) getWorkspace() *SolveWorkspace {
+	ws, _ := f.solveWS.Get().(*SolveWorkspace)
+	if ws == nil {
+		ws = &SolveWorkspace{}
+	}
+	return ws
+}
+
+// putWorkspace returns a workspace to the pool.
+func (f *Factorization) putWorkspace(ws *SolveWorkspace) { f.solveWS.Put(ws) }
+
+// solveProcs resolves the worker count of the triangular solves:
+// Options.SolveWorkers, defaulting to Options.Workers. Read at solve
+// time, so it can be retuned on the Symbolic between solves.
+func (f *Factorization) solveProcs() int {
+	p := f.S.Opts.SolveWorkers
+	if p == 0 {
+		p = f.S.Opts.Workers
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// runSweep executes one triangular sweep on its level-set schedule,
+// recording one trace event per block column (KindSolveL/KindSolveU)
+// when the factorization's recorder is present and sized for the
+// solve worker count.
+func (f *Factorization) runSweep(lv *sched.Levels, procs int, kind trace.Kind, step func(k int)) {
+	if rec := f.S.Opts.Trace; rec != nil && rec.Workers() >= procs {
+		sched.ExecuteLevels(lv, procs, func(w, k int) {
+			start := rec.Now()
+			step(k)
+			rec.Record(w, trace.NoTask, kind, k, start)
+		})
+		return
+	}
+	sched.ExecuteLevels(lv, procs, func(w, k int) { step(k) })
+}
 
 // Solve solves A·x = b for the original (unpermuted) matrix the
 // factorization was computed from. b is not modified.
+//
+// The sweeps execute as one task per block column on the level-set
+// schedules derived at analysis time (Symbolic.SolveFwd/SolveBwd)
+// with Options.SolveWorkers workers. Tasks touching a common block
+// row are chained in serial order and updates to disjoint rows
+// commute exactly, so the result is bitwise identical to the serial
+// sweeps at every worker count.
 func (f *Factorization) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.S.N {
 		return nil, fmt.Errorf("core: rhs has length %d, want %d", len(b), f.S.N)
@@ -17,79 +89,111 @@ func (f *Factorization) Solve(b []float64) ([]float64, error) {
 	if f.Singular() {
 		return nil, f.singularError()
 	}
+	ws := f.getWorkspace()
 	// A x = b  ⇒  (P_sym P_row A P_symᵀ)(P_sym x) = P_sym P_row b.
 	// With equilibration, (R·A₂·C)(C⁻¹·P_sym x) = R·P_sym P_row b.
-	y := f.S.SymPerm.Apply(f.S.RowPerm.Apply(b))
+	y := ws.panel(f.S.N)
+	for i, v := range b {
+		y[f.S.SolvePerm[i]] = v
+	}
 	if f.rscale != nil {
 		for i := range y {
 			y[i] *= f.rscale[i]
 		}
 	}
-	f.solveInPlace(y)
+	procs := f.solveProcs()
+	f.runSweep(f.S.SolveFwd, procs, trace.KindSolveL, func(k int) { f.fwdStep(k, y) })
+	f.runSweep(f.S.SolveBwd, procs, trace.KindSolveU, func(k int) { f.bwdStep(k, y) })
 	if f.cscale != nil {
 		for i := range y {
 			y[i] *= f.cscale[i]
 		}
 	}
-	return f.S.SymPerm.ApplyInverse(y), nil
+	x := make([]float64, f.S.N)
+	for i := range x {
+		x[i] = y[f.S.SymPerm[i]]
+	}
+	f.putWorkspace(ws)
+	return x, nil
 }
 
 // SolvePermuted solves the factored (permuted) system in place: on
 // entry y is the right-hand side in the permuted ordering, on return it
-// holds the solution in the permuted ordering.
+// holds the solution in the permuted ordering. It runs the serial
+// sweeps on the calling goroutine.
 func (f *Factorization) SolvePermuted(y []float64) {
 	f.solveInPlace(y)
 }
 
+// solveInPlace runs the two sweeps in plain serial column order — the
+// seed path the parallel engine is tested bitwise against, and the
+// body of SolvePermuted. The per-column step functions are shared with
+// the level-scheduled executor, so the two paths perform literally the
+// same operations.
 func (f *Factorization) solveInPlace(y []float64) {
-	part := f.S.Part
 	nb := f.S.BlockSym.N
-
-	// Forward sweep: replay each panel's interchanges at its step, solve
-	// the unit-lower diagonal block, then propagate to the sub-diagonal
-	// blocks. Block rows are contiguous scalar index ranges, so the
-	// relevant pieces of y are contiguous.
 	for k := 0; k < nb; k++ {
-		c := &f.cols[k]
-		w := c.width
-		prows := f.panelRows[k]
-		for lc, r := range f.ipiv[k] {
-			if r != lc {
-				y[prows[lc]], y[prows[r]] = y[prows[r]], y[prows[lc]]
-			}
-		}
-		lo, _ := part.Range(k)
-		yk := y[lo : lo+w]
-		diag := c.data[c.panelOffset()*w:]
-		blas.Dtrsv(true, true, w, diag, w, yk)
-		for t := c.diagIdx + 1; t < len(c.blockRows); t++ {
-			i := c.blockRows[t]
-			ilo, ihi := part.Range(i)
-			blas.Dgemv(false, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, yk, 1, y[ilo:ihi])
+		f.fwdStep(k, y)
+	}
+	for k := nb - 1; k >= 0; k-- {
+		f.bwdStep(k, y)
+	}
+}
+
+// fwdStep is the forward-sweep task of block column k on one
+// right-hand side: replay the panel's interchanges at its step, solve
+// the unit-lower diagonal block, then propagate to the sub-diagonal
+// blocks. Block rows are contiguous scalar index ranges, so the
+// relevant pieces of y are contiguous. It touches exactly the block
+// rows of L̄'s column k (the panel's static row set), which is what
+// the conflict chains of the solve schedule are built on.
+func (f *Factorization) fwdStep(k int, y []float64) {
+	c := &f.cols[k]
+	w := c.width
+	prows := f.panelRows[k]
+	for lc, r := range f.ipiv[k] {
+		if r != lc {
+			y[prows[lc]], y[prows[r]] = y[prows[r]], y[prows[lc]]
 		}
 	}
+	lo, _ := f.S.Part.Range(k)
+	yk := y[lo : lo+w]
+	diag := c.data[c.panelOffset()*w:]
+	blas.Dtrsv(true, true, w, diag, w, yk)
+	for t := c.diagIdx + 1; t < len(c.blockRows); t++ {
+		i := c.blockRows[t]
+		ilo, ihi := f.S.Part.Range(i)
+		blas.Dgemv(false, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, yk, 1, y[ilo:ihi])
+	}
+}
 
-	// Backward sweep: solve the upper-triangular diagonal block of K,
-	// then subtract U(I,K)·x_K from the rows of every block above.
-	for k := nb - 1; k >= 0; k-- {
-		c := &f.cols[k]
-		w := c.width
-		lo, _ := part.Range(k)
-		xk := y[lo : lo+w]
-		diag := c.data[c.panelOffset()*w:]
-		blas.Dtrsv(false, false, w, diag, w, xk)
-		for t := 0; t < c.diagIdx; t++ {
-			i := c.blockRows[t]
-			ilo, ihi := part.Range(i)
-			blas.Dgemv(false, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, xk, 1, y[ilo:ihi])
-		}
+// bwdStep is the backward-sweep task of block column k: solve the
+// upper-triangular diagonal block, then subtract U(I,K)·x_K from the
+// rows of every block above. It touches exactly the block rows of Ū's
+// column k.
+func (f *Factorization) bwdStep(k int, y []float64) {
+	c := &f.cols[k]
+	w := c.width
+	lo, _ := f.S.Part.Range(k)
+	xk := y[lo : lo+w]
+	diag := c.data[c.panelOffset()*w:]
+	blas.Dtrsv(false, false, w, diag, w, xk)
+	for t := 0; t < c.diagIdx; t++ {
+		i := c.blockRows[t]
+		ilo, ihi := f.S.Part.Range(i)
+		blas.Dgemv(false, ihi-ilo, w, -1, c.data[c.offsets[t]*w:], w, xk, 1, y[ilo:ihi])
 	}
 }
 
 // SolveMany solves A·X = B for several right-hand sides at once with
 // blocked BLAS-3 sweeps (Dtrsm/Dgemm on an n×nrhs panel), which is
 // substantially faster than repeated single-vector solves once nrhs is
-// more than a couple. The inputs are not modified.
+// more than a couple. The panel lives in the factorization's pooled
+// SolveWorkspace and the right-hand sides are packed straight into
+// their permuted rows, so no per-RHS staging copies are allocated. The
+// sweeps run on the same level-set schedules as Solve and are bitwise
+// identical to the serial panel sweeps at every worker count. The
+// inputs are not modified.
 func (f *Factorization) SolveMany(bs [][]float64) ([][]float64, error) {
 	if f.Singular() {
 		return nil, f.singularError()
@@ -105,70 +209,95 @@ func (f *Factorization) SolveMany(bs [][]float64) ([][]float64, error) {
 		}
 	}
 	// Pack the permuted (and scaled) right-hand sides as a row-major
-	// n×nrhs panel.
-	y := make([]float64, n*nrhs)
+	// n×nrhs panel, scattering each b directly through SolvePerm.
+	ws := f.getWorkspace()
+	y := ws.panel(n * nrhs)
 	for r, b := range bs {
-		pb := f.S.SymPerm.Apply(f.S.RowPerm.Apply(b))
-		if f.rscale != nil {
-			for i := range pb {
-				pb[i] *= f.rscale[i]
-			}
+		for i, v := range b {
+			y[f.S.SolvePerm[i]*nrhs+r] = v
 		}
+	}
+	if f.rscale != nil {
 		for i := 0; i < n; i++ {
-			y[i*nrhs+r] = pb[i]
-		}
-	}
-
-	part := f.S.Part
-	nb := f.S.BlockSym.N
-	// Forward sweep.
-	for k := 0; k < nb; k++ {
-		c := &f.cols[k]
-		w := c.width
-		prows := f.panelRows[k]
-		for lc, rr := range f.ipiv[k] {
-			if rr != lc {
-				blas.Dswap(nrhs, y[prows[lc]*nrhs:], 1, y[prows[rr]*nrhs:], 1)
+			s := f.rscale[i]
+			row := y[i*nrhs : (i+1)*nrhs]
+			for j := range row {
+				row[j] *= s
 			}
 		}
-		lo, _ := part.Range(k)
-		diag := c.data[c.panelOffset()*w:]
-		blas.Dtrsm(true, true, w, nrhs, 1, diag, w, y[lo*nrhs:], nrhs)
-		for t := c.diagIdx + 1; t < len(c.blockRows); t++ {
-			i := c.blockRows[t]
-			ilo, ihi := part.Range(i)
-			blas.Dgemm(ihi-ilo, nrhs, w, -1, c.data[c.offsets[t]*w:], w, y[lo*nrhs:], nrhs, 1, y[ilo*nrhs:], nrhs)
-		}
-	}
-	// Backward sweep.
-	for k := nb - 1; k >= 0; k-- {
-		c := &f.cols[k]
-		w := c.width
-		lo, _ := part.Range(k)
-		diag := c.data[c.panelOffset()*w:]
-		blas.Dtrsm(false, false, w, nrhs, 1, diag, w, y[lo*nrhs:], nrhs)
-		for t := 0; t < c.diagIdx; t++ {
-			i := c.blockRows[t]
-			ilo, ihi := part.Range(i)
-			blas.Dgemm(ihi-ilo, nrhs, w, -1, c.data[c.offsets[t]*w:], w, y[lo*nrhs:], nrhs, 1, y[ilo*nrhs:], nrhs)
-		}
 	}
 
-	// Unpack, unscale, unpermute.
+	procs := f.solveProcs()
+	f.runSweep(f.S.SolveFwd, procs, trace.KindSolveL, func(k int) { f.fwdPanelStep(k, y, nrhs) })
+	f.runSweep(f.S.SolveBwd, procs, trace.KindSolveU, func(k int) { f.bwdPanelStep(k, y, nrhs) })
+
+	// Unpack, unscale, unpermute: one gather pass per right-hand side,
+	// straight from the panel into the result.
 	out := make([][]float64, nrhs)
-	col := make([]float64, n)
-	for r := 0; r < nrhs; r++ {
-		for i := 0; i < n; i++ {
-			col[i] = y[i*nrhs+r]
-		}
+	for r := range out {
+		x := make([]float64, n)
 		if f.cscale != nil {
-			for i := range col {
-				col[i] *= f.cscale[i]
+			for i := 0; i < n; i++ {
+				p := f.S.SymPerm[i]
+				x[i] = y[p*nrhs+r] * f.cscale[p]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				x[i] = y[f.S.SymPerm[i]*nrhs+r]
 			}
 		}
-		out[r] = f.S.SymPerm.ApplyInverse(col)
+		out[r] = x
 	}
+	f.putWorkspace(ws)
 	return out, nil
+}
+
+// solveManySerial runs the panel sweeps in plain serial column order —
+// the bitwise reference of the level-scheduled multi-RHS path.
+func (f *Factorization) solveManySerial(y []float64, nrhs int) {
+	nb := f.S.BlockSym.N
+	for k := 0; k < nb; k++ {
+		f.fwdPanelStep(k, y, nrhs)
+	}
+	for k := nb - 1; k >= 0; k-- {
+		f.bwdPanelStep(k, y, nrhs)
+	}
+}
+
+// fwdPanelStep is fwdStep on an n×nrhs row-major panel: Dswap replays
+// the interchanges across all right-hand sides, Dtrsm solves the
+// unit-lower diagonal block, Dgemm scatters the sub-diagonal updates.
+func (f *Factorization) fwdPanelStep(k int, y []float64, nrhs int) {
+	c := &f.cols[k]
+	w := c.width
+	prows := f.panelRows[k]
+	for lc, rr := range f.ipiv[k] {
+		if rr != lc {
+			blas.Dswap(nrhs, y[prows[lc]*nrhs:], 1, y[prows[rr]*nrhs:], 1)
+		}
+	}
+	lo, _ := f.S.Part.Range(k)
+	diag := c.data[c.panelOffset()*w:]
+	blas.Dtrsm(true, true, w, nrhs, 1, diag, w, y[lo*nrhs:], nrhs)
+	for t := c.diagIdx + 1; t < len(c.blockRows); t++ {
+		i := c.blockRows[t]
+		ilo, ihi := f.S.Part.Range(i)
+		blas.Dgemm(ihi-ilo, nrhs, w, -1, c.data[c.offsets[t]*w:], w, y[lo*nrhs:], nrhs, 1, y[ilo*nrhs:], nrhs)
+	}
+}
+
+// bwdPanelStep is bwdStep on an n×nrhs row-major panel.
+func (f *Factorization) bwdPanelStep(k int, y []float64, nrhs int) {
+	c := &f.cols[k]
+	w := c.width
+	lo, _ := f.S.Part.Range(k)
+	diag := c.data[c.panelOffset()*w:]
+	blas.Dtrsm(false, false, w, nrhs, 1, diag, w, y[lo*nrhs:], nrhs)
+	for t := 0; t < c.diagIdx; t++ {
+		i := c.blockRows[t]
+		ilo, ihi := f.S.Part.Range(i)
+		blas.Dgemm(ihi-ilo, nrhs, w, -1, c.data[c.offsets[t]*w:], w, y[lo*nrhs:], nrhs, 1, y[ilo*nrhs:], nrhs)
+	}
 }
 
 // Residual returns ‖A·x − b‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞), the standard

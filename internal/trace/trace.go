@@ -42,6 +42,14 @@ const (
 	// tripped the execution's cancel flag. It carries the failing task's
 	// id and column; its duration is zero.
 	KindAbort
+	// KindSolveL is one forward-sweep task of the triangular solves —
+	// the L̄ sweep of Solve/SolveMany or the L̄ᵀ sweep of
+	// SolveTranspose. It carries the block column in Col; Task is
+	// NoTask (solve tasks are not part of the factorization graph).
+	KindSolveL
+	// KindSolveU is one backward-sweep solve task — the Ū sweep, or
+	// the Ûᵀ sweep of SolveTranspose.
+	KindSolveU
 	// numKinds bounds the Kind enumeration for per-kind aggregation.
 	numKinds
 )
@@ -57,6 +65,10 @@ func (k Kind) String() string {
 		return "scale"
 	case KindAbort:
 		return "abort"
+	case KindSolveL:
+		return "solveL"
+	case KindSolveU:
+		return "solveU"
 	}
 	return "unknown"
 }
