@@ -1,7 +1,7 @@
 #!/bin/sh
 # The local/CI gate, split into stages so CI can attribute failures:
 #
-#   ./check.sh lint    # gofmt, vet, build, lucheck
+#   ./check.sh lint    # gofmt, vet, build, lucheck -audit
 #   ./check.sh test    # race-enabled test suite
 #   ./check.sh chaos   # fault-injection / cancellation stress, -race, repeated
 #   ./check.sh bench   # paperbench small suite + regression compare
@@ -35,8 +35,8 @@ lint() {
 	echo "==> go build"
 	go build ./...
 
-	echo "==> lucheck"
-	go run ./cmd/lucheck ./...
+	echo "==> lucheck -audit"
+	go run ./cmd/lucheck -audit ./...
 }
 
 test_stage() {

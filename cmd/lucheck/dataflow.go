@@ -1,0 +1,235 @@
+package main
+
+// lockWalker walks one function body in lexical order, tracking how
+// many sync locks are held at each point, and reports every call,
+// every `go` statement and every write target together with that lock
+// state. Nested function literals are NOT entered — each literal is
+// its own call-graph node and establishes its own locking regime.
+//
+// The tracking is the same lexical approximation the intra-procedural
+// lock-discipline rule uses: Lock/RLock and Unlock/RUnlock calls on
+// sync types toggle a counter along the statement list; a conditional
+// block that always transfers control out (the early-unlock-and-return
+// idiom) is analyzed on a copy of the state; `defer mu.Unlock()` does
+// not release the lock at the defer site.
+
+import (
+	"go/ast"
+)
+
+type lockWalker struct {
+	pi     *pkgInfo
+	locked int
+
+	onCall  func(call *ast.CallExpr, locked bool)
+	onGo    func(g *ast.GoStmt, locked bool)
+	onWrite func(target ast.Expr, locked bool)
+}
+
+// walkBody runs the walker over a function body.
+func (w *lockWalker) walkBody(body *ast.BlockStmt, onCall func(*ast.CallExpr, bool), onGo func(*ast.GoStmt, bool)) {
+	w.onCall = onCall
+	w.onGo = onGo
+	w.block(body.List)
+}
+
+// walkWrites runs the walker reporting writes (and calls, if onCall is
+// already set) — used by the shared-capture rule.
+func (w *lockWalker) walkWrites(body *ast.BlockStmt, onWrite func(ast.Expr, bool)) {
+	w.onWrite = onWrite
+	w.block(body.List)
+}
+
+func (w *lockWalker) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(st.X)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.expr(rhs)
+		}
+		for _, lhs := range st.Lhs {
+			w.expr(lhs)
+			if w.onWrite != nil {
+				w.onWrite(lhs, w.locked > 0)
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+		if w.onWrite != nil {
+			w.onWrite(st.X, w.locked > 0)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.expr(st.Cond)
+		w.branch(st.Body)
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			w.branch(e)
+		case ast.Stmt:
+			w.stmt(e)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond)
+		}
+		w.block(st.Body.List)
+		if st.Post != nil {
+			w.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		w.expr(st.X)
+		w.block(st.Body.List)
+	case *ast.BlockStmt:
+		w.block(st.List)
+	case *ast.DeferStmt:
+		// Deferred lock operations act at return, not here; other
+		// deferred calls are reported with the current state.
+		if w.lockKind(st.Call) == "" {
+			w.callAndArgs(st.Call)
+		}
+	case *ast.GoStmt:
+		if w.onGo != nil {
+			w.onGo(st, w.locked > 0)
+		}
+		for _, a := range st.Call.Args {
+			w.expr(a)
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag)
+		}
+		w.caseClauses(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.caseClauses(st.Body)
+	case *ast.SelectStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				saved := w.locked
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				w.block(cc.Body)
+				w.locked = saved
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.expr(r)
+		}
+	case *ast.SendStmt:
+		w.expr(st.Chan)
+		w.expr(st.Value)
+	}
+}
+
+func (w *lockWalker) caseClauses(body *ast.BlockStmt) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			saved := w.locked
+			w.block(cc.Body)
+			w.locked = saved
+		}
+	}
+}
+
+// branch analyzes a conditional block; if it always leaves the
+// enclosing flow its lock-state changes do not outlive it.
+func (w *lockWalker) branch(b *ast.BlockStmt) {
+	if terminates(b) {
+		saved := w.locked
+		w.block(b.List)
+		w.locked = saved
+		return
+	}
+	w.block(b.List)
+}
+
+func (w *lockWalker) expr(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		switch w.lockKind(x) {
+		case "lock":
+			w.locked++
+			return
+		case "unlock":
+			w.locked--
+			return
+		}
+		w.callAndArgs(x)
+	case *ast.FuncLit:
+		// Own node; not entered.
+	case *ast.ParenExpr:
+		w.expr(x.X)
+	case *ast.UnaryExpr:
+		w.expr(x.X)
+	case *ast.BinaryExpr:
+		w.expr(x.X)
+		w.expr(x.Y)
+	case *ast.IndexExpr:
+		w.expr(x.X)
+		w.expr(x.Index)
+	case *ast.SliceExpr:
+		w.expr(x.X)
+	case *ast.SelectorExpr:
+		w.expr(x.X)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X)
+	case *ast.StarExpr:
+		w.expr(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			w.expr(el)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(x.Value)
+	}
+}
+
+func (w *lockWalker) callAndArgs(x *ast.CallExpr) {
+	if w.onCall != nil {
+		w.onCall(x, w.locked > 0)
+	}
+	w.expr(x.Fun)
+	for _, a := range x.Args {
+		w.expr(a)
+	}
+}
+
+// lockKind classifies a call as a sync lock acquisition or release.
+func (w *lockWalker) lockKind(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	var kind string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return ""
+	}
+	s := w.pi.info.Selections[sel]
+	if s == nil || s.Obj().Pkg() == nil || s.Obj().Pkg().Path() != "sync" {
+		return ""
+	}
+	return kind
+}

@@ -12,10 +12,24 @@ import (
 )
 
 // The module is parsed and type-checked once for all tests; the
-// deliberately-violating fixture rides along under a virtual import
-// path so a single load serves both the clean-repo and the
-// fixture-violation tests.
+// deliberately-violating fixtures ride along under virtual import
+// paths so a single load serves the clean-repo test and every
+// fixture-violation test.
 const fixturePath = "repro/internal/badpkg"
+
+// fixtureDirs maps each fixture's virtual import path to its
+// testdata/src directory.
+var fixtureDirs = map[string]string{
+	fixturePath:                "badpkg",
+	"repro/fixture/mofix":      "mofix",
+	"repro/fixture/fpfix":      "fpfix",
+	"repro/fixture/capfix":     "capfix",
+	"repro/fixture/cgfix":      "cgfix",
+	"repro/fixture/justfix":    "justfix",
+	"repro/fixture/mutlevels":  "mutlevels",
+	"repro/fixture/mutdescend": "mutdescend",
+	"repro/fixture/mutcapture": "mutcapture",
+}
 
 var load = struct {
 	once sync.Once
@@ -35,13 +49,16 @@ func loadOnce(t *testing.T) ([]*pkgInfo, *token.FileSet, string) {
 		}
 		load.mod = modPath
 		load.fset = token.NewFileSet()
-		fixtureDir, err := filepath.Abs("testdata/src/badpkg")
-		if err != nil {
-			load.err = err
-			return
+		extra := map[string]string{}
+		for path, dir := range fixtureDirs {
+			abs, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+			if err != nil {
+				load.err = err
+				return
+			}
+			extra[path] = abs
 		}
-		load.pkgs, load.err = loadModule(load.fset, root, modPath,
-			map[string]string{fixturePath: fixtureDir})
+		load.pkgs, load.err = loadModule(load.fset, root, modPath, extra)
 	})
 	if load.err != nil {
 		t.Fatalf("loading module: %v", load.err)
@@ -55,7 +72,7 @@ func TestRepoClean(t *testing.T) {
 	pkgs, fset, mod := loadOnce(t)
 	var repo []*pkgInfo
 	for _, pi := range pkgs {
-		if pi.path != fixturePath {
+		if _, isFixture := fixtureDirs[pi.path]; !isFixture {
 			repo = append(repo, pi)
 		}
 	}

@@ -1,7 +1,9 @@
 // Command lucheck is the project-specific static checker for the
 // parallel sparse LU codebase. It parses and type-checks the whole
-// module with the standard library's go/ast and go/types and enforces
-// seven invariants the general tools cannot know about:
+// module with the standard library's go/ast and go/types, builds a
+// module-wide call graph (including method values, interface dispatch
+// and closures handed to the sched executors), and enforces invariants
+// the general tools cannot know about:
 //
 //   - pattern-mutation: the CSC/Pattern structure slices (ColPtr,
 //     RowInd) back the *static* symbolic factorization; they may only
@@ -31,33 +33,76 @@
 //     bodies in internal/sched may not either, since anything there
 //     runs once per task. Setup code outside worker closures may
 //     allocate freely.
+//   - map-order: in the determinism-contract packages, values whose
+//     order comes from a nondeterministic source (map iteration,
+//     multi-ready select, time.Now, math/rand) must not flow into
+//     ordered sinks — schedule and level slices, task queues, trace
+//     event streams, stored numeric values — without an intervening
+//     deterministic sort. The taint follows values interprocedurally
+//     through unexported call results.
+//   - fp-reassoc: float accumulation in the numeric packages must
+//     follow the pinned ascending-k order — no summation in descending
+//     loops (outside the whitelisted upper-triangular solves), in
+//     map-range bodies, through permuted index gathers, or into
+//     variables captured by worker closures (task-completion order).
+//   - shared-capture: the interprocedural extension of lock-discipline.
+//     A variable captured by reference (&v handed down a call chain
+//     starting in a worker closure) may be written in the callee only
+//     if a sync lock is held at the write or at some call site on the
+//     chain; mutable package-level variables written from
+//     worker-reachable code get the same check.
+//   - allow-justification: every //lucheck:allow must name its rules
+//     and carry a justification ("— <why>"); a bare allow suppresses
+//     but is itself a finding, and -audit lists the full inventory.
 //
-// Findings can be waived with a `//lucheck:allow <rule>` comment on the
-// same line or the line above, which keeps deliberate exceptions
-// greppable.
+// Findings can be waived with
+//
+//	//lucheck:allow <rule>[,<rule>...] — <justification>
+//
+// on the same line or the line above, which keeps deliberate
+// exceptions greppable and reviewable.
 //
 // Usage:
 //
-//	go run ./cmd/lucheck ./...
+//	go run ./cmd/lucheck [-format=text|json|sarif] [-o file] [-audit] ./...
 //
 // The only accepted package argument is ./... (the checker always
 // analyzes the whole module, starting from the enclosing go.mod). Exit
-// status is 0 when the module is clean and 1 when findings remain.
+// status is 0 when the module is clean and 1 when findings remain;
+// -audit also lists every suppression with its justification.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
 	"sort"
 )
 
 func main() {
-	for _, arg := range os.Args[1:] {
+	var (
+		format  = flag.String("format", "text", "output format: text, json or sarif")
+		outPath = flag.String("o", "", "write findings to this file instead of stdout")
+		audit   = flag.Bool("audit", false, "also inventory every //lucheck:allow suppression")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lucheck [-format=text|json|sarif] [-o file] [-audit] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	for _, arg := range flag.Args() {
 		if arg != "./..." {
-			fmt.Fprintf(os.Stderr, "usage: lucheck [./...]  (always checks the whole module)\n")
+			fmt.Fprintf(os.Stderr, "usage: lucheck [flags] [./...]  (always checks the whole module)\n")
 			os.Exit(2)
 		}
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "lucheck: unknown -format %q (want text, json or sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	cwd, err := os.Getwd()
@@ -75,20 +120,47 @@ func main() {
 		fatal(err)
 	}
 
-	findings := analyzeAll(fset, pkgs, defaultConfig(modPath))
+	a := analyzeModule(fset, pkgs, defaultConfig(modPath))
+	findings := a.findings
 	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].pos, findings[j].pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+		x, y := findings[i].pos, findings[j].pos
+		if x.Filename != y.Filename {
+			return x.Filename < y.Filename
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if x.Line != y.Line {
+			return x.Line < y.Line
 		}
-		return a.Column < b.Column
+		return x.Column < y.Column
 	})
-	for _, f := range findings {
-		fmt.Println(f)
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
 	}
+	switch *format {
+	case "json":
+		if err := writeJSON(out, root, findings); err != nil {
+			fatal(err)
+		}
+	case "sarif":
+		if err := writeSARIF(out, root, findings); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+	}
+
+	if *audit {
+		writeAudit(os.Stdout, root, a.supps)
+	}
+
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "lucheck: %d finding(s)\n", len(findings))
 		os.Exit(1)
@@ -97,7 +169,7 @@ func main() {
 	if len(pkgs) == 1 {
 		noun = "package"
 	}
-	fmt.Printf("lucheck: %d %s clean\n", len(pkgs), noun)
+	fmt.Fprintf(os.Stderr, "lucheck: %d %s clean\n", len(pkgs), noun)
 }
 
 func fatal(err error) {

@@ -1,0 +1,796 @@
+package main
+
+// The map-order rule: in the determinism-contract packages, a value
+// whose ORDER (or value) derives from a nondeterministic source must
+// not reach an ordered sink without an intervening deterministic sort.
+//
+// Sources:
+//   - ranging over a map (iteration order is randomized),
+//   - ranging over a slice that is itself map-ordered (taint
+//     propagates through the elements),
+//   - a select statement with two or more communication cases (the
+//     runtime picks a ready case pseudo-randomly),
+//   - the wall clock (time.Now / time.Since) and math/rand.
+//
+// Sinks (all scoped to the contract packages):
+//   - stores into ordered structure fields (Order, Off, Levels, Tasks,
+//     Succ, Queue, Prio, Val) — the schedule and factor storage whose
+//     element order IS the determinism contract,
+//   - arguments to functions of the scheduler/taskgraph/trace packages
+//     (task queues and trace event streams),
+//   - channel sends,
+//   - fmt output (report streams must be reproducible),
+//   - returns of exported functions (the order escapes the package).
+//
+// Taint propagates through assignments, appends and — interprocedurally
+// — through the results of module functions: a summary pass fixpoints
+// over the call graph so a helper that returns map keys taints its
+// callers, wherever they live.
+//
+// A call to a sort function (package sort or slices) on the tainted
+// value sanitizes it: uses after the sort position are clean. The
+// min/max-reduction idiom (x = v guarded by an if comparing x against
+// v) is recognized as order-independent and does not taint.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// taintInfo tracks one tainted object.
+type taintInfo struct {
+	pos        token.Pos // where the taint arose
+	reason     string    // human-readable source description
+	sanitized  token.Pos // position of the sanitizing sort, or NoPos
+	fromSource string    // rule-internal source class
+}
+
+// activeAt reports whether the taint is live at use position p.
+func (t *taintInfo) activeAt(p token.Pos) bool {
+	if p < t.pos {
+		return false
+	}
+	return t.sanitized == token.NoPos || p < t.sanitized
+}
+
+// moSummaries is the interprocedural result-taint table: for a named
+// function, which results carry nondeterministic order.
+type moSummaries map[*types.Func][]string // reason per result ("" = clean)
+
+// mapOrder runs the rule over every contract-package function.
+func (a *analysis) mapOrder(g *callGraph) {
+	sums := moSummaries{}
+	// Fixpoint over result summaries (taint through helper returns),
+	// then one reporting pass. The module call depth is small; cap the
+	// iterations defensively.
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		for _, n := range g.nodes {
+			if !a.cfg.contract[n.pi.path] || n.obj == nil {
+				continue
+			}
+			s := a.newMoScan(n, sums, false)
+			s.run()
+			if updateSummary(sums, n.obj, s.resultTaint) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range g.nodes {
+		if !a.cfg.contract[n.pi.path] {
+			continue
+		}
+		s := a.newMoScan(n, sums, true)
+		s.run()
+	}
+}
+
+func updateSummary(sums moSummaries, f *types.Func, taint []string) bool {
+	old := sums[f]
+	if len(old) != len(taint) {
+		sums[f] = taint
+		return true
+	}
+	for i := range taint {
+		if old[i] != taint[i] {
+			sums[f] = taint
+			return true
+		}
+	}
+	return false
+}
+
+// moScan is the per-function walk.
+type moScan struct {
+	a      *analysis
+	n      *cgNode
+	pi     *pkgInfo
+	sums   moSummaries
+	report bool
+
+	tainted     map[types.Object]*taintInfo
+	resultTaint []string // per result index, "" when clean
+
+	// regions is the stack of enclosing nondeterministic-order regions
+	// (map ranges, tainted-slice ranges, multi-case selects).
+	regions []*moRegion
+	// ifConds is the stack of enclosing if conditions, for the
+	// reduction idiom.
+	ifConds []ast.Expr
+}
+
+type moRegion struct {
+	node   ast.Node // the RangeStmt or SelectStmt
+	reason string
+	// keyObj/valObj are the range variables; stores keyed by them are
+	// element-addressed and therefore order-independent.
+	keyObj, valObj types.Object
+}
+
+func (a *analysis) newMoScan(n *cgNode, sums moSummaries, rep bool) *moScan {
+	s := &moScan{a: a, n: n, pi: n.pi, sums: sums, report: rep,
+		tainted: map[types.Object]*taintInfo{}}
+	if n.obj != nil {
+		if sig, ok := n.obj.Type().(*types.Signature); ok {
+			s.resultTaint = make([]string, sig.Results().Len())
+		}
+	}
+	return s
+}
+
+func (s *moScan) run() {
+	s.block(s.n.body.List)
+}
+
+func (s *moScan) block(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		s.stmt(st)
+	}
+}
+
+func (s *moScan) inRegion() *moRegion {
+	if len(s.regions) == 0 {
+		return nil
+	}
+	return s.regions[len(s.regions)-1]
+}
+
+func (s *moScan) stmt(st ast.Stmt) {
+	switch v := st.(type) {
+	case *ast.AssignStmt:
+		s.assign(v)
+	case *ast.RangeStmt:
+		s.rangeStmt(v)
+	case *ast.SelectStmt:
+		s.selectStmt(v)
+	case *ast.ExprStmt:
+		s.expr(v.X)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		s.expr(v.Cond)
+		s.ifConds = append(s.ifConds, v.Cond)
+		s.block(v.Body.List)
+		s.ifConds = s.ifConds[:len(s.ifConds)-1]
+		switch e := v.Else.(type) {
+		case *ast.BlockStmt:
+			s.block(e.List)
+		case ast.Stmt:
+			s.stmt(e)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		if v.Cond != nil {
+			s.expr(v.Cond)
+		}
+		s.block(v.Body.List)
+		if v.Post != nil {
+			s.stmt(v.Post)
+		}
+	case *ast.BlockStmt:
+		s.block(v.List)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body)
+			}
+		}
+	case *ast.ReturnStmt:
+		s.returnStmt(v)
+	case *ast.SendStmt:
+		if t := s.exprTaint(v.Value); t != nil && t.activeAt(v.Value.Pos()) {
+			s.sink(v.Value.Pos(), t, "channel send")
+		} else if r := s.inRegion(); r != nil {
+			s.sinkRegion(v.Value.Pos(), r, "channel send")
+		}
+		s.expr(v.Value)
+	case *ast.IncDecStmt, *ast.DeclStmt, *ast.BranchStmt:
+		// Counters and declarations do not move order around; var decls
+		// with initializers are handled below.
+		if ds, ok := st.(*ast.DeclStmt); ok {
+			s.declStmt(ds)
+		}
+	case *ast.DeferStmt:
+		s.expr(v.Call)
+	case *ast.GoStmt:
+		s.expr(v.Call)
+	case *ast.LabeledStmt:
+		s.stmt(v.Stmt)
+	}
+}
+
+// declStmt taints variables initialized from tainted expressions.
+func (s *moScan) declStmt(ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, sp := range gd.Specs {
+		vs, ok := sp.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i < len(vs.Values) {
+				if t := s.valueTaint(vs.Values[i]); t != nil {
+					s.taintIdent(name, t.reason, vs.Values[i].Pos())
+				}
+			}
+		}
+	}
+}
+
+// rangeStmt handles the map-range and tainted-slice-range sources.
+func (s *moScan) rangeStmt(v *ast.RangeStmt) {
+	s.expr(v.X)
+	tv, ok := s.pi.info.Types[v.X]
+	region := (*moRegion)(nil)
+	if ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			region = &moRegion{node: v, reason: "map iteration order"}
+			// Both key and value are picked in randomized order.
+			region.keyObj = s.defObj(v.Key)
+			region.valObj = s.defObj(v.Value)
+			if region.keyObj != nil {
+				s.taintObj(region.keyObj, "map iteration order", v.Pos())
+			}
+			if region.valObj != nil {
+				s.taintObj(region.valObj, "map iteration order", v.Pos())
+			}
+		}
+	}
+	if region == nil {
+		if t := s.exprTaint(v.X); t != nil && t.activeAt(v.X.Pos()) {
+			region = &moRegion{node: v, reason: t.reason}
+			region.keyObj = s.defObj(v.Key) // positional index: clean
+			region.valObj = s.defObj(v.Value)
+			if region.valObj != nil {
+				s.taintObj(region.valObj, t.reason, v.Pos())
+			}
+		}
+	}
+	if region != nil {
+		s.regions = append(s.regions, region)
+		s.block(v.Body.List)
+		s.regions = s.regions[:len(s.regions)-1]
+		return
+	}
+	s.block(v.Body.List)
+}
+
+// selectStmt treats a select with two or more communication cases as a
+// nondeterministic region: the runtime chooses among ready cases.
+func (s *moScan) selectStmt(v *ast.SelectStmt) {
+	comms := 0
+	for _, c := range v.Body.List {
+		if _, ok := c.(*ast.CommClause); ok {
+			comms++
+		}
+	}
+	region := (*moRegion)(nil)
+	if comms >= 2 {
+		region = &moRegion{node: v, reason: "select case choice"}
+		s.regions = append(s.regions, region)
+	}
+	for _, c := range v.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm != nil {
+			s.stmt(cc.Comm)
+		}
+		s.block(cc.Body)
+	}
+	if region != nil {
+		s.regions = s.regions[:len(s.regions)-1]
+	}
+}
+
+// assign is where most taint is created, propagated and sunk.
+func (s *moScan) assign(v *ast.AssignStmt) {
+	for _, rhs := range v.Rhs {
+		s.expr(rhs)
+	}
+	// Multi-value call: x, y := f() with a summary-tainted result.
+	if len(v.Lhs) > 1 && len(v.Rhs) == 1 {
+		if call, ok := ast.Unparen(v.Rhs[0]).(*ast.CallExpr); ok {
+			if reasons := s.callResultTaint(call); reasons != nil {
+				for i, lhs := range v.Lhs {
+					if i < len(reasons) && reasons[i] != "" {
+						s.taintLHS(lhs, reasons[i], call.Pos())
+					}
+				}
+				return
+			}
+		}
+	}
+	if len(v.Lhs) != len(v.Rhs) {
+		return
+	}
+	for i := range v.Lhs {
+		s.assignOne(v, v.Lhs[i], v.Rhs[i])
+	}
+}
+
+func (s *moScan) assignOne(v *ast.AssignStmt, lhs, rhs ast.Expr) {
+	rhsTaint := s.valueTaint(rhs)
+
+	// Sink check first: a tainted value stored into an ordered field.
+	if rhsTaint != nil && rhsTaint.activeAt(rhs.Pos()) {
+		if field := s.sinkField(lhs); field != "" {
+			s.sink(lhs.Pos(), rhsTaint, "store into ordered field ."+field)
+			return
+		}
+	}
+
+	// Ordered-append inside a nondeterministic region: dst collects
+	// elements in region order.
+	if r := s.inRegion(); r != nil {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(s.pi, call, "append") {
+			if obj := s.baseObj(lhs); obj != nil && s.declaredOutside(obj, r.node) {
+				if field := s.sinkField(lhs); field != "" {
+					s.sink(lhs.Pos(), &taintInfo{pos: v.Pos(), reason: r.reason}, "append in "+r.reason+" order into ordered field ."+field)
+					return
+				}
+				s.taintObj(obj, r.reason, v.Pos())
+				return
+			}
+			// Appending into a sink field directly.
+			if field := s.sinkField(firstArg(call)); field != "" {
+				s.sink(call.Pos(), &taintInfo{pos: v.Pos(), reason: r.reason}, "append in "+r.reason+" order into ordered field ."+field)
+				return
+			}
+		}
+		// Indexed store in region order: dst[i] = ... where the index is
+		// NOT derived from the range variables. Element-addressed stores
+		// (hist[k] += v with k the range key) land each value at its own
+		// key and are order-independent: no taint either way.
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if obj := s.baseObj(ix.X); obj != nil && s.declaredOutside(obj, r.node) {
+				if !s.mentionsRegionVar(ix.Index, r) {
+					s.taintObj(obj, r.reason, v.Pos())
+				}
+				return
+			}
+		}
+		// Plain store of a region variable (or derived value) to an
+		// outer variable: last-writer-wins in region order.
+		if rhsTaint != nil && rhsTaint.activeAt(rhs.Pos()) {
+			if obj := s.baseObj(lhs); obj != nil && s.declaredOutside(obj, r.node) && !s.isReduction(lhs) {
+				s.taintObj(obj, rhsTaint.reason, v.Pos())
+			}
+			return
+		}
+	}
+
+	// Plain propagation outside regions.
+	if rhsTaint != nil && rhsTaint.activeAt(rhs.Pos()) && !s.isReduction(lhs) {
+		s.taintLHS(lhs, rhsTaint.reason, rhs.Pos())
+	}
+}
+
+func firstArg(call *ast.CallExpr) ast.Expr {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// isReduction reports whether the innermost enclosing if condition
+// compares the assigned variable (min/max reduction idiom): the final
+// value is order-independent.
+func (s *moScan) isReduction(lhs ast.Expr) bool {
+	if len(s.ifConds) == 0 {
+		return false
+	}
+	obj := s.baseObj(lhs)
+	if obj == nil {
+		return false
+	}
+	cond := s.ifConds[len(s.ifConds)-1]
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	return s.mentionsObj(be.X, obj) || s.mentionsObj(be.Y, obj)
+}
+
+// returnStmt reports exported escapes and feeds the summary.
+func (s *moScan) returnStmt(v *ast.ReturnStmt) {
+	for i, r := range v.Results {
+		s.expr(r)
+		t := s.valueTaint(r)
+		if t == nil || !t.activeAt(r.Pos()) {
+			continue
+		}
+		if s.resultTaint != nil && i < len(s.resultTaint) {
+			s.resultTaint[i] = t.reason
+		}
+		if s.n.obj != nil && s.n.obj.Exported() {
+			s.sink(r.Pos(), t, "return from exported function "+s.n.obj.Name())
+		}
+	}
+}
+
+// expr walks an expression for sources and call sinks.
+func (s *moScan) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate node
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		s.checkCall(call)
+		return true
+	})
+}
+
+// checkCall handles sanitizers and call-argument sinks.
+func (s *moScan) checkCall(call *ast.CallExpr) {
+	// Sanitizer: sort/slices functions clear the taint of their first
+	// argument from this position on.
+	if pkg := s.calleePkg(call); pkg == "sort" || pkg == "slices" {
+		if len(call.Args) > 0 {
+			if obj := s.baseObj(call.Args[0]); obj != nil {
+				if t := s.tainted[obj]; t != nil && t.sanitized == token.NoPos {
+					t.sanitized = call.Pos()
+				}
+			}
+		}
+		return
+	}
+	// Sink: tainted argument handed to the scheduler/taskgraph/trace
+	// packages, or to fmt output.
+	pkgPath := s.calleePkgPath(call)
+	isSink := s.a.cfg.sinkPkgs[pkgPath]
+	isFmt := pkgPath == "fmt" && strings.Contains(calleeName(call), "rint")
+	if !isSink && !isFmt {
+		return
+	}
+	for _, arg := range call.Args {
+		if t := s.exprTaint(arg); t != nil && t.activeAt(arg.Pos()) {
+			what := "argument to " + pkgLabel(pkgPath) + "." + calleeName(call)
+			s.sink(arg.Pos(), t, what)
+			return
+		}
+	}
+}
+
+func pkgLabel(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "?"
+}
+
+// valueTaint computes the taint of an expression used as a value:
+// direct sources (clock, rand), summary-tainted call results, or any
+// mention of a tainted object.
+func (s *moScan) valueTaint(e ast.Expr) *taintInfo {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if src := s.nondetSource(call); src != "" {
+			return &taintInfo{pos: call.Pos(), reason: src, sanitized: token.NoPos}
+		}
+		if reasons := s.callResultTaint(call); len(reasons) == 1 && reasons[0] != "" {
+			return &taintInfo{pos: call.Pos(), reason: reasons[0], sanitized: token.NoPos}
+		}
+		// append(dst, tainted...) keeps dst's and the elements' taint.
+		if isBuiltin(s.pi, call, "append") {
+			for _, a := range call.Args {
+				if t := s.exprTaint(a); t != nil {
+					return t
+				}
+			}
+		}
+		// Order-insensitive queries of tainted collections stay clean.
+		if isBuiltin(s.pi, call, "len") || isBuiltin(s.pi, call, "cap") {
+			return nil
+		}
+		// Conversions and other calls pass their operands' taint through
+		// (float64(t.UnixNano()) is as clock-ordered as t itself).
+		return s.exprTaint(e)
+	}
+	return s.exprTaint(e)
+}
+
+// exprTaint reports a tainted object — or a direct nondeterministic
+// source call — mentioned anywhere in e.
+func (s *moScan) exprTaint(e ast.Expr) *taintInfo {
+	if e == nil {
+		return nil
+	}
+	var found *taintInfo
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if src := s.nondetSource(call); src != "" {
+				found = &taintInfo{pos: call.Pos(), reason: src, sanitized: token.NoPos}
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := s.useObj(id); obj != nil {
+				if t := s.tainted[obj]; t != nil && t.activeAt(id.Pos()) {
+					found = t
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (s *moScan) mentionsObj(e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && s.useObj(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (s *moScan) mentionsRegionVar(e ast.Expr, r *moRegion) bool {
+	if r.keyObj != nil && s.mentionsObj(e, r.keyObj) {
+		return true
+	}
+	if r.valObj != nil && s.mentionsObj(e, r.valObj) {
+		return true
+	}
+	return false
+}
+
+// nondetSource classifies direct nondeterministic value sources.
+func (s *moScan) nondetSource(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := s.pi.info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+			return "wall-clock read (time." + sel.Sel.Name + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		return "math/rand value"
+	}
+	return ""
+}
+
+// callResultTaint resolves a direct call to a module function and
+// returns the per-result taint reasons from the summary table.
+func (s *moScan) callResultTaint(call *ast.CallExpr) []string {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = s.pi.info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = s.pi.info.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return s.sums[fn]
+}
+
+// sinkField returns the ordered-field name when lhs stores into one of
+// the protected structure fields (possibly through an index).
+func (s *moScan) sinkField(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			if sel := s.pi.info.Selections[v]; sel != nil && sel.Kind() == types.FieldVal {
+				if s.a.cfg.sinkFields[v.Sel.Name] {
+					return v.Sel.Name
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// sink files a finding (reporting pass only).
+func (s *moScan) sink(pos token.Pos, t *taintInfo, what string) {
+	if !s.report {
+		return
+	}
+	s.a.report(pos, "map-order",
+		"%s receives a value ordered by %s without a deterministic sort in between", what, t.reason)
+}
+
+// sinkRegion files a finding for a region-ordered sink with no
+// tracked object (a direct send inside a map range).
+func (s *moScan) sinkRegion(pos token.Pos, r *moRegion, what string) {
+	if !s.report {
+		return
+	}
+	s.a.report(pos, "map-order",
+		"%s inside a %s region publishes elements in nondeterministic order", what, r.reason)
+}
+
+// taintLHS taints the base object of an assignment target.
+func (s *moScan) taintLHS(lhs ast.Expr, reason string, pos token.Pos) {
+	if field := s.sinkField(lhs); field != "" {
+		s.sink(lhs.Pos(), &taintInfo{pos: pos, reason: reason, sanitized: token.NoPos},
+			"store into ordered field ."+field)
+		return
+	}
+	if obj := s.baseObj(lhs); obj != nil {
+		s.taintObj(obj, reason, pos)
+	}
+}
+
+func (s *moScan) taintIdent(id *ast.Ident, reason string, pos token.Pos) {
+	if obj := s.pi.info.Defs[id]; obj != nil {
+		s.taintObj(obj, reason, pos)
+	}
+}
+
+func (s *moScan) taintObj(obj types.Object, reason string, pos token.Pos) {
+	if obj == nil {
+		return
+	}
+	if t := s.tainted[obj]; t != nil && t.sanitized == token.NoPos {
+		return // keep the earliest live taint
+	}
+	s.tainted[obj] = &taintInfo{pos: pos, reason: reason, sanitized: token.NoPos}
+}
+
+// defObj resolves a range-variable define.
+func (s *moScan) defObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := s.pi.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return s.pi.info.Uses[id]
+}
+
+func (s *moScan) useObj(id *ast.Ident) types.Object {
+	if obj := s.pi.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return s.pi.info.Defs[id]
+}
+
+// baseObj drills an lvalue to its base identifier's object.
+func (s *moScan) baseObj(e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.Ident:
+			return s.useObj(v)
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside node's span.
+func (s *moScan) declaredOutside(obj types.Object, node ast.Node) bool {
+	return obj.Pos() < node.Pos() || obj.Pos() >= node.End()
+}
+
+// calleePkg returns the package name qualifier of a pkg.F call.
+func (s *moScan) calleePkg(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := s.pi.info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// calleePkgPath returns the import path of the callee's package, also
+// resolving plain identifiers (same-package calls).
+func (s *moScan) calleePkgPath(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj := s.pi.info.Uses[f.Sel]
+		if obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	case *ast.Ident:
+		obj := s.pi.info.Uses[f]
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			return fn.Pkg().Path()
+		}
+	}
+	return ""
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pi *pkgInfo, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := pi.info.Uses[id]
+	return obj != nil && obj.Parent() == types.Universe
+}

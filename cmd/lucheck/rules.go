@@ -87,6 +87,21 @@ type config struct {
 	// literals passed to the sched executors (their per-task worker
 	// bodies), unless they are also hotpath.
 	schedClients map[string]bool
+	// contract packages carry the bitwise-determinism contract and get
+	// the map-order taint rule. cmd/lucheck checks itself: its findings
+	// and package walks must be deterministically ordered too.
+	contract map[string]bool
+	// fpScope packages get the fp-reassoc rule (pinned accumulation
+	// order); fpWhitelist names files (by base name) whose descending
+	// loops ARE the pinned direction — the upper-triangular solves.
+	fpScope     map[string]bool
+	fpWhitelist map[string]bool
+	// sinkFields are the ordered structure fields of the map-order
+	// rule: schedule and level slices, task lists, stored values.
+	sinkFields map[string]bool
+	// sinkPkgs are the packages whose call arguments are ordered sinks
+	// (task queues, schedules, trace event streams).
+	sinkPkgs map[string]bool
 }
 
 // defaultConfig is the rule scoping for this repository.
@@ -103,6 +118,12 @@ func defaultConfig(modPath string) *config {
 			p("internal/blas"): true,
 			p("internal/core"): true,
 			p("internal/gplu"): true,
+			// The command-line tools compute residuals and compare
+			// benchmark times; exact float comparison is as wrong there
+			// as in the kernels.
+			p("cmd/splu"):       true,
+			p("cmd/paperbench"): true,
+			p("cmd/matinfo"):    true,
 		},
 		workers: map[string]bool{
 			p("internal/sched"): true,
@@ -113,114 +134,249 @@ func defaultConfig(modPath string) *config {
 		schedClients: map[string]bool{
 			p("internal/core"): true,
 		},
+		contract: map[string]bool{
+			p("internal/core"):      true,
+			p("internal/sched"):     true,
+			p("internal/taskgraph"): true,
+			p("internal/symbolic"):  true,
+			// Self-check: the checker's own output and package walks
+			// must be deterministic, or its findings flap in CI.
+			p("cmd/lucheck"): true,
+		},
+		fpScope: map[string]bool{
+			p("internal/blas"): true,
+			p("internal/core"): true,
+		},
+		fpWhitelist: map[string]bool{
+			// The upper-triangular kernels are pinned DESCENDING: the
+			// serial backward sweep is their contract order.
+			"level2.go": true,
+			"level3.go": true,
+		},
+		sinkFields: map[string]bool{
+			"Order": true, "Off": true, "Levels": true, "Tasks": true,
+			"Succ": true, "Queue": true, "Prio": true, "Val": true,
+		},
+		sinkPkgs: map[string]bool{
+			p("internal/sched"):     true,
+			p("internal/taskgraph"): true,
+			p("internal/trace"):     true,
+		},
 	}
 }
 
-// analyzeAll runs every rule over every package.
+// analysis is the module-wide state: the suppression index, the
+// suppression inventory (for -audit) and the findings of every rule,
+// intra- and interprocedural.
+type analysis struct {
+	fset     *token.FileSet
+	cfg      *config
+	allowed  map[string]map[int]map[string]bool // file -> line -> rules
+	supps    []suppression
+	findings []finding
+}
+
+// suppression is one //lucheck:allow comment.
+type suppression struct {
+	pos           token.Position
+	tokPos        token.Pos
+	rules         []string
+	justification string
+}
+
+func newAnalysis(fset *token.FileSet, cfg *config) *analysis {
+	return &analysis{fset: fset, cfg: cfg, allowed: map[string]map[int]map[string]bool{}}
+}
+
+// analyzeAll runs every rule over every package: the per-package
+// syntactic rules, then the interprocedural rules on the module-wide
+// call graph, then the suppression-justification check.
 func analyzeAll(fset *token.FileSet, pkgs []*pkgInfo, cfg *config) []finding {
-	var out []finding
-	for _, pi := range pkgs {
-		out = append(out, analyzePkg(fset, pi, cfg)...)
-	}
-	return out
+	return analyzeModule(fset, pkgs, cfg).findings
 }
 
-// analyzePkg runs the applicable rules on one package and filters out
-// suppressed findings.
-func analyzePkg(fset *token.FileSet, pi *pkgInfo, cfg *config) []finding {
-	p := &pass{fset: fset, pi: pi, cfg: cfg}
-	for _, f := range pi.files {
-		p.suppressions(f)
+// analyzeModule is analyzeAll returning the full analysis state — the
+// -audit mode also wants the suppression inventory.
+func analyzeModule(fset *token.FileSet, pkgs []*pkgInfo, cfg *config) *analysis {
+	a := newAnalysis(fset, cfg)
+	for _, pi := range pkgs {
+		for _, f := range pi.files {
+			a.indexSuppressions(f)
+		}
 	}
+	for _, pi := range pkgs {
+		a.pkgRules(pi)
+	}
+	cg := buildCallGraph(fset, pkgs, cfg)
+	a.mapOrder(cg)
+	a.fpReassoc(cg)
+	a.sharedCapture(cg)
+	a.checkJustifications()
+	return a
+}
+
+// collectSuppressions indexes the whole module's //lucheck:allow
+// comments without running any rules (the -audit mode).
+func collectSuppressions(fset *token.FileSet, pkgs []*pkgInfo, cfg *config) []suppression {
+	a := newAnalysis(fset, cfg)
+	for _, pi := range pkgs {
+		for _, f := range pi.files {
+			a.indexSuppressions(f)
+		}
+	}
+	return a.supps
+}
+
+// analyzePkg runs the per-package rules on one package in isolation
+// (used by the tests to scope fixture packages).
+func analyzePkg(fset *token.FileSet, pi *pkgInfo, cfg *config) []finding {
+	a := newAnalysis(fset, cfg)
 	for _, f := range pi.files {
-		if !cfg.constructors[pi.path] {
+		a.indexSuppressions(f)
+	}
+	a.pkgRules(pi)
+	return a.findings
+}
+
+// pkgRules runs the intra-procedural rules on one package.
+func (a *analysis) pkgRules(pi *pkgInfo) {
+	p := &pass{fset: a.fset, pi: pi, cfg: a.cfg, a: a}
+	for _, f := range pi.files {
+		if !a.cfg.constructors[pi.path] {
 			p.patternMutation(f)
 		}
 		if strings.Contains(pi.path, "/internal/") {
 			p.nakedPanic(f)
 		}
-		if cfg.numeric[pi.path] {
+		if a.cfg.numeric[pi.path] {
 			p.floatEquality(f)
 		}
-		if cfg.workers[pi.path] {
+		if a.cfg.workers[pi.path] {
 			p.lockDiscipline(f)
 			p.workerTiming(f)
 			p.workerExit(f)
 		}
 		// Whole-file hot-alloc takes precedence over the narrower scans
 		// so a package in several sets is not double-reported.
-		if cfg.hotpath[pi.path] {
+		if a.cfg.hotpath[pi.path] {
 			p.hotAllocFile(f)
 		} else {
-			if cfg.workers[pi.path] {
+			if a.cfg.workers[pi.path] {
 				p.hotAllocGoroutines(f)
 			}
-			if cfg.schedClients[pi.path] {
+			if a.cfg.schedClients[pi.path] {
 				p.hotAllocSchedClosures(f)
 			}
 		}
 	}
-	return p.findings
 }
 
 // pass carries the per-package analysis state.
 type pass struct {
-	fset     *token.FileSet
-	pi       *pkgInfo
-	cfg      *config
-	allowed  map[string]map[int]map[string]bool // file -> line -> rules
-	findings []finding
+	fset *token.FileSet
+	pi   *pkgInfo
+	cfg  *config
+	a    *analysis
 }
 
-// suppressions indexes the //lucheck:allow comments of a file.
-func (p *pass) suppressions(f *ast.File) {
-	if p.allowed == nil {
-		p.allowed = map[string]map[int]map[string]bool{}
-	}
+// indexSuppressions records the //lucheck:allow comments of a file:
+// both the line index consulted by report and the inventory behind
+// -audit. The accepted form is
+//
+//	//lucheck:allow <rule>[,<rule>...] — <justification>
+//
+// (an ASCII "--" separator also works). The justification is
+// mandatory; a bare allow still suppresses its target rules but is
+// itself reported by the allow-justification rule and fails -audit.
+func (a *analysis) indexSuppressions(f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text := c.Text
-			idx := strings.Index(text, "lucheck:allow")
-			if idx < 0 {
+			// Directive convention: no space between // and the verb, so
+			// prose that merely mentions the syntax is not a directive.
+			after, ok := strings.CutPrefix(c.Text, "//lucheck:allow")
+			if !ok {
 				continue
 			}
-			rest := strings.TrimSpace(text[idx+len("lucheck:allow"):])
+			rest := strings.TrimSpace(after)
 			word := rest
 			if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
 				word = rest[:sp]
 			}
-			pos := p.fset.Position(c.Pos())
-			byLine := p.allowed[pos.Filename]
+			just := parseJustification(strings.TrimSpace(rest[len(word):]))
+			pos := a.fset.Position(c.Pos())
+			byLine := a.allowed[pos.Filename]
 			if byLine == nil {
 				byLine = map[int]map[string]bool{}
-				p.allowed[pos.Filename] = byLine
+				a.allowed[pos.Filename] = byLine
 			}
 			rules := byLine[pos.Line]
 			if rules == nil {
 				rules = map[string]bool{}
 				byLine[pos.Line] = rules
 			}
+			var ruleList []string
 			for _, r := range strings.Split(word, ",") {
 				if r != "" {
 					rules[r] = true
+					ruleList = append(ruleList, r)
 				}
 			}
+			a.supps = append(a.supps, suppression{
+				pos: pos, tokPos: c.Pos(), rules: ruleList, justification: just,
+			})
+		}
+	}
+}
+
+// parseJustification extracts the justification text after the em-dash
+// (or "--") separator; empty when absent.
+func parseJustification(rest string) string {
+	for _, sep := range []string{"—", "–", "--"} {
+		if cut, ok := strings.CutPrefix(rest, sep); ok {
+			return strings.TrimSpace(cut)
+		}
+	}
+	return ""
+}
+
+// checkJustifications files an allow-justification finding for every
+// bare suppression. The finding is itself unsuppressable: an allow
+// without a reason is exactly what the audit trail must not contain.
+func (a *analysis) checkJustifications() {
+	for _, s := range a.supps {
+		if len(s.rules) == 0 {
+			a.report(s.tokPos, "allow-justification",
+				"lucheck:allow names no rule; spell it //lucheck:allow <rule> — <why>")
+			continue
+		}
+		if s.justification == "" {
+			a.report(s.tokPos, "allow-justification",
+				"suppression of %s has no justification; spell it //lucheck:allow %s — <why>",
+				strings.Join(s.rules, ","), strings.Join(s.rules, ","))
 		}
 	}
 }
 
 // report files a finding unless a suppression covers its line (either
-// trailing on the same line or on the line directly above).
-func (p *pass) report(pos token.Pos, rule, format string, args ...any) {
-	position := p.fset.Position(pos)
-	if byLine := p.allowed[position.Filename]; byLine != nil {
-		for _, line := range []int{position.Line, position.Line - 1} {
-			if rules := byLine[line]; rules != nil && (rules[rule] || rules["all"]) {
-				return
+// trailing on the same line or on the line directly above). The
+// allow-justification rule cannot be suppressed.
+func (a *analysis) report(pos token.Pos, rule, format string, args ...any) {
+	position := a.fset.Position(pos)
+	if rule != "allow-justification" {
+		if byLine := a.allowed[position.Filename]; byLine != nil {
+			for _, line := range []int{position.Line, position.Line - 1} {
+				if rules := byLine[line]; rules != nil && (rules[rule] || rules["all"]) {
+					return
+				}
 			}
 		}
 	}
-	p.findings = append(p.findings, finding{pos: position, rule: rule, msg: fmt.Sprintf(format, args...)})
+	a.findings = append(a.findings, finding{pos: position, rule: rule, msg: fmt.Sprintf(format, args...)})
+}
+
+// report delegates to the shared analysis.
+func (p *pass) report(pos token.Pos, rule, format string, args ...any) {
+	p.a.report(pos, rule, format, args...)
 }
 
 // ---------------------------------------------------------------- rules

@@ -1,0 +1,164 @@
+// Package capfix is the shared-capture fixture: variables captured by
+// reference and written inside functions CALLED FROM worker closures —
+// the writes the intra-procedural lock-discipline rule cannot see. It
+// is compiled by the lucheck tests under a virtual import path (scoped
+// as a workers package) and must never build as part of the real
+// module.
+package capfix
+
+import "sync"
+
+var mu sync.Mutex
+
+// --- violations -----------------------------------------------------
+
+// bump writes through a pointer that every caller hands it from a
+// worker closure, with no lock anywhere on the chain.
+func bump(p *int) {
+	*p++ // want shared-capture
+}
+
+// Tally is the one-level case: &total escapes the worker closure into
+// bump.
+func Tally(n int) int {
+	total := 0
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			bump(&total)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return total
+}
+
+// addOne passes the pointer one level further: the taint must follow.
+func addOne(p *int) {
+	deepBump(p)
+}
+
+func deepBump(p *int) {
+	*p++ // want shared-capture
+}
+
+// ChainTally is the two-level case.
+func ChainTally(n int) int {
+	count := 0
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			addOne(&count)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return count
+}
+
+// opCount is written by worker-reachable code without a lock.
+var opCount int
+
+func recordOp() {
+	opCount++ // want shared-capture
+}
+
+// Run reaches recordOp from a worker goroutine.
+func Run(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			recordOp()
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// --- clean ----------------------------------------------------------
+
+var guarded int
+
+// bumpGuarded's write is safe because every call site holds the lock:
+// the protection transfers down the edge.
+func bumpGuarded(p *int) {
+	*p++
+}
+
+// Locked holds the lock at the call site (the lock-at-the-top idiom).
+func Locked(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			mu.Lock()
+			bumpGuarded(&guarded)
+			mu.Unlock()
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+var total2 int
+
+// lockedAdd holds the lock at the write itself.
+func lockedAdd(v int) {
+	mu.Lock()
+	total2 += v
+	mu.Unlock()
+}
+
+// Workers reaches lockedAdd from worker goroutines: clean.
+func Workers(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			lockedAdd(1)
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// inc only ever receives pointers to goroutine-local variables: the
+// pointee is per-invocation state, not shared.
+func inc(p *int) {
+	*p++
+}
+
+func LocalOnly(done chan<- int) {
+	go func() {
+		local := 0
+		inc(&local)
+		done <- local
+	}()
+}
+
+// --- suppressed -----------------------------------------------------
+
+var logged int
+
+// record carries a justified waiver on the write.
+func record(p *int) {
+	//lucheck:allow shared-capture — fixture: waiver path of the interprocedural rule
+	*p++
+}
+
+func Suppressed(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			record(&logged)
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,5 @@
+package cgfix
+
+// archTag's amd64 variant: the loader must pick exactly one of the
+// per-arch files, so the call graph holds exactly one archTag node.
+func archTag() string { return "amd64" }

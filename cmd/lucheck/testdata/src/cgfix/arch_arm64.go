@@ -1,0 +1,4 @@
+package cgfix
+
+// archTag's arm64 variant.
+func archTag() string { return "arm64" }

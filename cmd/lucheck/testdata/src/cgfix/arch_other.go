@@ -1,0 +1,6 @@
+//go:build !amd64 && !arm64
+
+package cgfix
+
+// archTag's fallback for every other architecture.
+func archTag() string { return "other" }

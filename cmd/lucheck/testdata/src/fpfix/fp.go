@@ -1,0 +1,114 @@
+// Package fpfix is the fp-reassoc fixture: floating-point accumulation
+// orders that break the pinned ascending-k contract. It is compiled by
+// the lucheck tests under a virtual import path (scoped as an fp
+// package) and must never build as part of the real module.
+package fpfix
+
+import "repro/internal/sched"
+
+// --- violations -----------------------------------------------------
+
+// DotDescending sums backward: the partial sums reassociate against
+// the pinned ascending order.
+func DotDescending(x, y []float64) float64 {
+	s := 0.0
+	for i := len(x) - 1; i >= 0; i-- {
+		s += x[i] * y[i] // want fp-reassoc
+	}
+	return s
+}
+
+// SumMap accumulates in randomized map order.
+func SumMap(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want fp-reassoc
+	}
+	return total
+}
+
+// GatherDot sums through an index indirection: the summation order
+// follows the contents of idx, which no loop direction pins.
+func GatherDot(x []float64, idx []int, y []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(idx); i++ {
+		s += x[idx[i]] * y[i] // want fp-reassoc
+	}
+	return s
+}
+
+// ParallelSum accumulates into a captured variable from goroutines:
+// the additions land in completion order, different every run.
+func ParallelSum(parts [][]float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	for _, p := range parts {
+		p := p
+		go func() {
+			for _, v := range p {
+				total += v // want fp-reassoc
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	return total
+}
+
+// LevelSum accumulates into a captured variable from a sched executor
+// closure — the per-task worker body — in task-completion order.
+func LevelSum(lv *sched.Levels, vals []float64) float64 {
+	sum := 0.0
+	sched.ExecuteLevels(lv, 2, func(worker, task int) {
+		sum += vals[task] // want fp-reassoc
+	})
+	return sum
+}
+
+// --- clean ----------------------------------------------------------
+
+// Dot is the pinned ascending sweep.
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// BackSolve iterates its OUTER loop descending, but the accumulator is
+// declared inside that loop: each iteration's partial sums reset, and
+// the inner summation runs ascending. This is the upper-solve shape
+// that must stay clean.
+func BackSolve(u, b []float64, n int) {
+	for j := n - 1; j >= 0; j-- {
+		acc := b[j]
+		for k := j + 1; k < n; k++ {
+			acc -= u[j*n+k] * b[k]
+		}
+		b[j] = acc / u[j*n+j]
+	}
+}
+
+// CountDown accumulates an int: order-independent, out of scope.
+func CountDown(n int) int {
+	c := 0
+	for i := n; i > 0; i-- {
+		c += i
+	}
+	return c
+}
+
+// --- suppressed -----------------------------------------------------
+
+// SuppressedDescending carries a justified waiver on the accumulation
+// line.
+func SuppressedDescending(x []float64) float64 {
+	s := 0.0
+	for i := len(x) - 1; i >= 0; i-- {
+		s += x[i] //lucheck:allow fp-reassoc — fixture: pinned backward sweep, waiver path under test
+	}
+	return s
+}

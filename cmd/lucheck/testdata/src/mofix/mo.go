@@ -1,0 +1,129 @@
+// Package mofix is the map-order fixture: values ordered by
+// nondeterministic sources flowing into ordered sinks. It is compiled
+// by the lucheck tests under a virtual import path (scoped as a
+// contract package) and must never build as part of the real module.
+// Violating lines carry want-markers; the clean section pins the
+// rule's exceptions and the suppressed section the waiver path.
+package mofix
+
+import (
+	"sort"
+	"time"
+)
+
+// Schedule carries the ordered sink fields of the real config.
+type Schedule struct {
+	Levels []int
+	Tasks  []int
+	Val    []float64
+}
+
+// --- violations -----------------------------------------------------
+
+// BuildLevels collects map keys in iteration order and installs them
+// as a schedule: the classic nondeterministic-level bug.
+func BuildLevels(deps map[int]int, s *Schedule) {
+	var order []int
+	for id := range deps {
+		order = append(order, id)
+	}
+	s.Levels = order // want map-order
+}
+
+// CollectTasks appends straight into the ordered field from inside the
+// map range.
+func CollectTasks(ready map[int]bool, s *Schedule) {
+	for id := range ready {
+		s.Tasks = append(s.Tasks, id) // want map-order
+	}
+}
+
+// KeyOrder lets the randomized order escape through an exported
+// return.
+func KeyOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys // want map-order
+}
+
+// keyList is the unexported helper of the interprocedural case: no
+// finding here, but its result summary carries the taint …
+func keyList(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// PublishKeys … which surfaces where the helper's result escapes.
+func PublishKeys(m map[string]int) []string {
+	return keyList(m) // want map-order
+}
+
+// StampVal stores a wall-clock-derived value into the factor storage.
+func StampVal(s *Schedule, i int) {
+	t := time.Now()
+	s.Val[i] = float64(t.UnixNano()) // want map-order
+}
+
+// Merge forwards whichever case the runtime picks first: downstream
+// element order depends on the select choice.
+func Merge(a, b <-chan int, out chan<- int) {
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-a:
+			out <- v // want map-order
+		case v := <-b:
+			out <- v // want map-order
+		}
+	}
+}
+
+// --- clean ----------------------------------------------------------
+
+// SortedLevels is BuildLevels with the mandatory sort: the sanitizer
+// clears the taint.
+func SortedLevels(deps map[int]int, s *Schedule) {
+	var order []int
+	for id := range deps {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+	s.Levels = order
+}
+
+// Histogram stores element-addressed: each value lands at its own key,
+// so iteration order cannot change the result.
+func Histogram(m map[int]int, hist []int) {
+	for k, v := range m {
+		hist[k] += v
+	}
+}
+
+// MinKey is the min-reduction idiom: the final value is
+// order-independent even though it is assigned in map order.
+func MinKey(m map[int]int) int {
+	best := 1 << 62
+	for k := range m {
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// --- suppressed -----------------------------------------------------
+
+// SuppressedLevels carries a justified waiver; the finding must not
+// surface.
+func SuppressedLevels(deps map[int]int, s *Schedule) {
+	var order []int
+	for id := range deps {
+		order = append(order, id)
+	}
+	//lucheck:allow map-order — fixture: exercising the waiver path of the taint rule
+	s.Levels = order
+}

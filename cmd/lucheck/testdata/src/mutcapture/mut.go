@@ -1,0 +1,32 @@
+// Package mutcapture is a mutation fixture: a scheduler-style error
+// counter with the lock deleted from the helper while the workers
+// still call it concurrently through a captured pointer. The write is
+// one call below the worker closure, out of the intra-procedural
+// rule's sight; the test asserts the interprocedural shared-capture
+// rule detects this mutant.
+package mutcapture
+
+import "sync"
+
+// noteError is the mutated helper: the mu.Lock()/Unlock() pair around
+// the write was removed.
+func noteError(count *int) {
+	*count++ // want shared-capture
+}
+
+// Drain spawns the workers that hand &failed to noteError.
+func Drain(tasks <-chan int, workers int) int {
+	failed := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range tasks {
+				noteError(&failed)
+			}
+		}()
+	}
+	wg.Wait()
+	return failed
+}

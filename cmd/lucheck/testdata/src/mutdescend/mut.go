@@ -1,0 +1,20 @@
+// Package mutdescend is a mutation fixture: the reference BLAS-3
+// micro-kernel with its k loop mutated to run DESCENDING. The partial
+// sums then reassociate against the pinned ascending-k order the
+// bitwise-determinism contract requires. The test asserts the
+// fp-reassoc rule detects this mutant.
+package mutdescend
+
+// DgemmRef is the mutated kernel: C += A*B with the dot products
+// summed backward.
+func DgemmRef(m, n, kk int, a, b, c []float64) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			sum := c[i*n+j]
+			for k := kk - 1; k >= 0; k-- {
+				sum += a[i*kk+k] * b[k*n+j] // want fp-reassoc
+			}
+			c[i*n+j] = sum
+		}
+	}
+}

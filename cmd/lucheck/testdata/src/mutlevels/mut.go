@@ -1,0 +1,27 @@
+// Package mutlevels is a mutation fixture: the taskgraph level-set
+// construction with its deterministic ordering removed. Bucketing
+// tasks by ranging over the depth map puts each level's tasks in
+// randomized order — exactly the schedule bug the map-order rule
+// exists to catch. The test asserts the rule detects this mutant.
+package mutlevels
+
+// LevelSets mirrors the real taskgraph shape.
+type LevelSets struct {
+	Levels []int
+	Tasks  []int
+}
+
+// BuildFromDepth is the mutated constructor: task IDs enter the
+// schedule in map-iteration order.
+func BuildFromDepth(depth map[int]int, nlev int) *LevelSets {
+	ls := &LevelSets{}
+	for lev := 0; lev < nlev; lev++ {
+		for id, d := range depth {
+			if d == lev {
+				ls.Tasks = append(ls.Tasks, id) // want map-order
+			}
+		}
+		ls.Levels = append(ls.Levels, len(ls.Tasks))
+	}
+	return ls
+}
