@@ -11,7 +11,9 @@
 # bench-out/kernel-bench.txt, writes bench-out/BENCH_small.json (suite
 # wall times + kernel GFLOPS) and a Chrome trace, then fails if suite
 # wall time or any kernel regressed more than SPARSELU_BENCH_TOL
-# (default 0.25) against the committed BENCH_small.json baseline.
+# (default 0.25) against the committed BENCH_small.json baseline, or if
+# the mean worker utilization at the highest worker count fell below
+# the baseline's committed utilization_floor.
 # SPARSELU_BENCH_REPS (default 3) controls repetitions per
 # configuration; SPARSELU_KERNEL_BENCHTIME (default 300ms) the Go
 # benchmark time per kernel size.
@@ -47,11 +49,14 @@ test_stage() {
 chaos() {
 	# The robustness surface under the race detector, repeated to shake
 	# out scheduling-dependent interleavings: injected panics/errors/NaNs,
-	# cancellation latency, timeouts, and the singularity/perturbation
-	# contract. SPARSELU_CHAOS_COUNT (default 5) sets the repetition count.
-	echo "==> chaos (fault injection + cancellation stress, -race)"
+	# cancellation latency, timeouts, the singularity/perturbation
+	# contract, and the async work-stealing engine's starvation/
+	# termination and bitwise-parity stress (deque races, skewed costs
+	# with injected delays at P=8). SPARSELU_CHAOS_COUNT (default 5) sets
+	# the repetition count.
+	echo "==> chaos (fault injection + work-stealing stress, -race)"
 	go test -race -count "${SPARSELU_CHAOS_COUNT:-5}" \
-		-run 'Cancel|Abort|Fault|Injector|Panic|Poison|Timeout|NearSingular|Singular|Perturb' \
+		-run 'Cancel|Abort|Fault|Injector|Panic|Poison|Timeout|NearSingular|Singular|Perturb|Deque|Starvation|Parity' \
 		./internal/sched/ ./internal/core/ ./internal/faultinject/ ./internal/gplu/ .
 }
 

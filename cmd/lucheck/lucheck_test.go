@@ -121,6 +121,7 @@ func TestFixtureViolations(t *testing.T) {
 		"worker-timing":    1,
 		"worker-exit":      2,
 		"hot-alloc":        4,
+		"spin-loop":        2,
 	}
 	for rule, n := range want {
 		if got[rule] != n {

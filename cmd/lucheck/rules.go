@@ -33,6 +33,13 @@ package main
 //     scheduler's error contract: failures surface as a TaskError
 //     through the cancellation path, so the caller learns which task
 //     failed and the remaining workers stop cleanly.
+//   - spin-loop: in the worker packages, an unbounded `for` loop that
+//     polls for work (an atomic .Load, or a pop/steal/claim call) must
+//     block or back off between polls — park on a condition variable,
+//     runtime.Gosched, time.Sleep, a select or a channel operation. A
+//     worker that spins without any of these burns a core while
+//     starved, and with more workers than cores it can starve the very
+//     victim whose deque it is polling.
 //   - hot-alloc: the numeric hot path is allocation-free by contract
 //     (the zero-allocation proof in internal/core pins it). In the
 //     hot-path packages (internal/blas) no non-test code may call make
@@ -255,6 +262,7 @@ func (a *analysis) pkgRules(pi *pkgInfo) {
 			p.lockDiscipline(f)
 			p.workerTiming(f)
 			p.workerExit(f)
+			p.spinLoop(f)
 		}
 		// Whole-file hot-alloc takes precedence over the narrower scans
 		// so a package in several sets is not double-reported.
@@ -629,6 +637,101 @@ func (p *pass) workerExit(f *ast.File) {
 		})
 		return true
 	})
+}
+
+// spinLoop flags unbounded busy-wait loops in the worker packages: a
+// `for` loop with no init and no post clause (so nothing bounds its
+// trip count) that polls for claimable state — an atomic .Load in its
+// condition or body, or a call to a claim primitive (a name containing
+// pop, steal or claim) — must also block or back off on each round.
+// Bounded sweep loops (with an init/post clause) are fine: they
+// terminate on their own, and the engine's steal sweeps are exactly
+// that shape with a yield between rounds.
+func (p *pass) spinLoop(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		if !spinPolls(loop) || spinBacksOff(loop.Body) {
+			return true
+		}
+		p.report(loop.Pos(), "spin-loop",
+			"unbounded work-polling loop without backoff or parking; yield (runtime.Gosched), sleep, or park on a condition variable between polls")
+		return true
+	})
+}
+
+// spinCallName extracts the called name of a call expression ("" when
+// the callee is not an identifier or selector).
+func spinCallName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// spinPolls reports whether the loop is a work-polling spin candidate:
+// either it is condition-less and its body polls claimable state (an
+// atomic-style .Load, or a claim-primitive call), or its condition
+// itself polls. A loop whose condition is an ordinary bound over
+// variables the body advances (a simulator's `for scheduled < nt`) is
+// not a spin even if its body happens to call a claim primitive — the
+// condition, not the poll, decides termination.
+func spinPolls(loop *ast.ForStmt) bool {
+	found := false
+	check := func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := spinCallName(call)
+			lower := strings.ToLower(name)
+			if name == "Load" || strings.Contains(lower, "pop") ||
+				strings.Contains(lower, "steal") || strings.Contains(lower, "claim") {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	if loop.Cond == nil {
+		check(loop.Body)
+	} else {
+		check(loop.Cond)
+	}
+	return found
+}
+
+// spinBacksOff reports whether the loop body blocks or yields between
+// polls: a select, a channel operation, or a call named Wait, Sleep or
+// Gosched, or whose name mentions park, backoff or yield.
+func spinBacksOff(body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			ok = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				ok = true
+			}
+		case *ast.CallExpr:
+			name := spinCallName(x)
+			lower := strings.ToLower(name)
+			if name == "Wait" || name == "Sleep" || name == "Gosched" ||
+				strings.Contains(lower, "park") || strings.Contains(lower, "backoff") ||
+				strings.Contains(lower, "yield") {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
 }
 
 // hotAllocFile flags every builtin make/append call in a file of a

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
@@ -117,6 +119,64 @@ func SchedWorkerAlloc(lv *sched.Levels, results []float64) {
 		scratch := make([]float64, task+1) // want hot-alloc
 		results[task] = float64(len(scratch))
 	})
+}
+
+// spinQueue is a stand-in work queue so the spin-loop fixtures below
+// have a claim primitive to poll.
+type spinQueue struct{ ids []int }
+
+func (q *spinQueue) steal() int {
+	if len(q.ids) == 0 {
+		return -1
+	}
+	id := q.ids[0]
+	q.ids = q.ids[1:]
+	return id
+}
+
+// SpinningWaiter busy-waits on an atomic flag with no backoff: one
+// spin-loop finding. The yielding loop below it is legal.
+func SpinningWaiter(ready *atomic.Bool) {
+	for !ready.Load() { // want spin-loop
+	}
+	for !ready.Load() {
+		runtime.Gosched()
+	}
+}
+
+// SpinningThief polls a claim primitive in an unbounded tight loop: one
+// spin-loop finding. ParkingThief parks between failed polls and the
+// bounded sweep in BoundedSweep terminates on its own; both are legal.
+func SpinningThief(q *spinQueue) int {
+	for { // want spin-loop
+		if id := q.steal(); id >= 0 {
+			return id
+		}
+	}
+}
+
+// ParkingThief is the sanctioned shape: park on a condition variable
+// when a poll comes up empty.
+func ParkingThief(q *spinQueue, cond *sync.Cond) int {
+	for {
+		if id := q.steal(); id >= 0 {
+			return id
+		}
+		cond.L.Lock()
+		cond.Wait()
+		cond.L.Unlock()
+	}
+}
+
+// BoundedSweep is a bounded retry loop (init and post clauses bound the
+// trip count), which the rule deliberately skips.
+func BoundedSweep(q *spinQueue) int {
+	for round := 0; round < 4; round++ {
+		if id := q.steal(); id >= 0 {
+			return id
+		}
+	}
+	return -1
 }
 
 // ExitingWorker terminates the process from worker goroutines instead

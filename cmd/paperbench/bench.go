@@ -37,6 +37,13 @@ type benchEntry struct {
 	Parallelism float64 `json:"parallelism"`
 	// Utilization is each worker's busy fraction of the trace window.
 	Utilization []float64 `json:"utilization"`
+	// MeanUtilization is total busy time over the trace window times the
+	// *effective* worker count min(Workers, GOMAXPROCS): on a CI host
+	// with fewer cores than workers the extra goroutines cannot add busy
+	// time, so dividing by the nominal P would grade the engine on
+	// hardware it was never given. On a host with enough cores this is
+	// exactly mean per-worker utilization.
+	MeanUtilization float64 `json:"mean_utilization"`
 	// GFlops is the end-to-end factorization rate of the fastest
 	// repetition: the symbolic cost model's total flops over wall time.
 	GFlops float64 `json:"gflops"`
@@ -70,12 +77,23 @@ type benchReport struct {
 	// multi-RHS panel path), gated like the kernels. They pin the solve
 	// engine's throughput independently of the factorization above it.
 	Solves map[string]kernelEntry `json:"solves"`
+	// MeanUtilization averages the per-entry mean utilization over the
+	// suite, per worker count (keyed like TotalWallSeconds).
+	MeanUtilization map[string]float64 `json:"mean_utilization"`
+	// UtilizationFloor is the committed scheduler-efficiency threshold:
+	// the comparator fails when the current mean utilization at the
+	// highest worker count drops below the baseline's floor. Zero means
+	// the baseline predates the gate and the metric is reported only.
+	UtilizationFloor float64 `json:"utilization_floor"`
 }
 
 // runBench executes the suite and writes the report to outPath. When
 // tracePath is non-empty, the Chrome trace of the first matrix at the
-// highest worker count is written there as the CI artifact.
-func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath, tracePath string) (*benchReport, error) {
+// highest worker count is written there as the CI artifact, with the
+// engine's steal/park spans recorded alongside the task events.
+// utilFloor is committed into the report as the scheduler-efficiency
+// threshold future comparisons are gated on.
+func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath, tracePath string, utilFloor float64) (*benchReport, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -85,7 +103,10 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 		Procs:            procs,
 		TotalWallSeconds: make(map[string]float64),
 		Solves:           make(map[string]kernelEntry),
+		MeanUtilization:  make(map[string]float64),
+		UtilizationFloor: utilFloor,
 	}
+	utilCount := make(map[string]int)
 	maxProcs := procs[len(procs)-1]
 	var artifactEvents []trace.Event
 	var artifactWorkers int
@@ -98,6 +119,12 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 		}
 		for _, p := range procs {
 			rec := trace.New(p)
+			if si == 0 && p == maxProcs && tracePath != "" {
+				// The Chrome-trace artifact also shows where the engine
+				// spent its scheduling time: steal searches and parked
+				// spans. Summarize partitions them out of the busy time.
+				rec.SetSchedEvents(true)
+			}
 			run := *s // Opts is a value, so this copy is private
 			run.Opts.Workers = p
 			run.Opts.Trace = rec
@@ -126,6 +153,11 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 			for w, ws := range sum.WorkerStats {
 				util[w] = ws.Utilization
 			}
+			effective := p
+			if g := runtime.GOMAXPROCS(0); g < effective {
+				effective = g
+			}
+			meanUtil := sum.Parallelism / float64(effective)
 			report.Entries = append(report.Entries, benchEntry{
 				Matrix:              spec.Name,
 				Workers:             p,
@@ -134,9 +166,13 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 				CriticalPathSeconds: float64(cp) / 1e9,
 				Parallelism:         sum.Parallelism,
 				Utilization:         util,
+				MeanUtilization:     meanUtil,
 				GFlops:              run.Stats.TotalFlops / best / 1e9,
 			})
-			report.TotalWallSeconds[fmt.Sprint(p)] += best
+			key := fmt.Sprint(p)
+			report.TotalWallSeconds[key] += best
+			report.MeanUtilization[key] += meanUtil
+			utilCount[key]++
 			if si == 0 && p == maxProcs {
 				artifactEvents = bestEvents
 				artifactWorkers = p
@@ -159,6 +195,10 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 		}
 		report.Solves[spec.Name+"_solve_1rhs"] = one
 		report.Solves[spec.Name+"_solve_16rhs"] = many
+	}
+
+	for key, n := range utilCount {
+		report.MeanUtilization[key] /= float64(n)
 	}
 
 	report.Kernels = runKernelBench(reps)
@@ -322,9 +362,13 @@ func writeJSON(path string, v any) error {
 
 // compareBench fails (returns an error) when any per-worker-count suite
 // wall-time total of cur regresses more than tol (fractional) against
-// the baseline at path. Worker counts absent from the baseline are
-// reported as new but do not fail the gate.
-func compareBench(cur *benchReport, path string, tol float64) error {
+// the baseline at path, or when the mean utilization at the highest
+// worker count drops below the committed floor. The floor is the
+// baseline's utilization_floor unless utilFloor > 0 overrides it; a
+// zero floor (baseline predates the gate) reports the metric without
+// failing. Worker counts absent from the baseline are reported as new
+// but do not fail the gate.
+func compareBench(cur *benchReport, path string, tol, utilFloor float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -399,8 +443,30 @@ func compareBench(cur *benchReport, path string, tol float64) error {
 		fmt.Printf("compare: solve %s %.2f GFLOPS (%.6fs), baseline %.6fs (%+.0f%%) %s\n",
 			name, now.GFlops, now.Seconds, was.Seconds, 100*(ratio-1), status)
 	}
+	// Utilization gate: the scheduler-efficiency floor at the highest
+	// worker count. Unlike the wall-time gates this is an absolute
+	// threshold, not a relative tolerance — utilization is already
+	// normalized, and the point of the gate is that no change may sneak
+	// the engine below the committed efficiency.
+	floor := base.UtilizationFloor
+	if utilFloor > 0 {
+		floor = utilFloor
+	}
+	maxKey := fmt.Sprint(cur.Procs[len(cur.Procs)-1])
+	meanUtil, haveUtil := cur.MeanUtilization[maxKey]
+	switch {
+	case !haveUtil:
+		fmt.Printf("compare: no mean utilization at P=%s (old report format)\n", maxKey)
+	case floor <= 0:
+		fmt.Printf("compare: mean utilization P=%s %.3f (no committed floor)\n", maxKey, meanUtil)
+	case meanUtil < floor:
+		failures = append(failures, fmt.Sprintf("mean utilization P=%s: %.3f below floor %.3f", maxKey, meanUtil, floor))
+		fmt.Printf("compare: mean utilization P=%s %.3f, floor %.3f REGRESSED\n", maxKey, meanUtil, floor)
+	default:
+		fmt.Printf("compare: mean utilization P=%s %.3f, floor %.3f ok\n", maxKey, meanUtil, floor)
+	}
 	if failures != nil {
-		return fmt.Errorf("wall time regressed beyond %.0f%% tolerance: %v", 100*tol, failures)
+		return fmt.Errorf("benchmark gate failed (tolerance %.0f%%): %v", 100*tol, failures)
 	}
 	return nil
 }

@@ -48,6 +48,7 @@ func main() {
 		reps       = flag.Int("reps", 3, "benchmark repetitions per configuration (the fastest is reported)")
 		compare    = flag.String("compare", "", "with -bench: compare against this baseline JSON and fail on regression")
 		tolerance  = flag.Float64("tolerance", 0.25, "with -compare: allowed fractional wall-time regression")
+		utilFloor  = flag.Float64("utilfloor", 0.95, "with -bench: mean-utilization floor committed into the report; when set explicitly with -compare, overrides the baseline's floor")
 		benchTrace = flag.String("benchtrace", "", "with -bench: write a Chrome trace of one benchmark run to this file")
 	)
 	flag.Parse()
@@ -72,14 +73,23 @@ func main() {
 	}
 
 	if *benchOut != "" {
-		report, err := runBench(specs, suite, procs, *reps, *benchOut, *benchTrace)
+		report, err := runBench(specs, suite, procs, *reps, *benchOut, *benchTrace, *utilFloor)
 		if err != nil {
 			fatalf("bench: %v", err)
 		}
 		fmt.Printf("bench: %d entries (%s suite, procs %v, %d reps) written to %s\n",
 			len(report.Entries), suite, procs, *reps, *benchOut)
 		if *compare != "" {
-			if err := compareBench(report, *compare, *tolerance); err != nil {
+			// The gate uses the baseline's committed floor; an explicit
+			// -utilfloor on the command line overrides it (the default
+			// value only seeds new reports).
+			override := 0.0
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "utilfloor" {
+					override = *utilFloor
+				}
+			})
+			if err := compareBench(report, *compare, *tolerance, override); err != nil {
 				fatalf("bench: %v", err)
 			}
 		}

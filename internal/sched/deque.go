@@ -1,0 +1,107 @@
+package sched
+
+import "sync/atomic"
+
+// deque is a Chase–Lev work-stealing deque of task ids, specialized for
+// the asynchronous executor:
+//
+//   - the owning worker pushes and pops at the bottom (LIFO, so a
+//     freshly released successor — whose panel data is still hot in the
+//     owner's cache — runs next);
+//   - thieves steal from the top (FIFO, so they take the oldest task,
+//     the one the owner is furthest from reaching);
+//   - the buffer is sized once, at setup, to hold every task of the
+//     graph, so pushes never grow it and the worker loop stays
+//     allocation-free. A deque can never hold more than the graph's
+//     task count (each task enters exactly one deque exactly once), so
+//     the capacity bound is not a heuristic.
+//
+// Every slot is an atomic.Int32 and top/bottom are atomic.Int64, which
+// makes the classic benign slot race of the original formulation (a
+// thief reading a slot the owner is about to reuse, resolved by the CAS
+// on top) a properly synchronized access — the engine runs clean under
+// the Go race detector without weakening the algorithm. Go's
+// sync/atomic operations are sequentially consistent, strictly stronger
+// than the acquire/release fences the weak-memory formulation needs.
+type deque struct {
+	top    atomic.Int64 // next index to steal from (thieves CAS this)
+	bottom atomic.Int64 // next index to push at (owner-only writes)
+	mask   int64        // len(slots) - 1; len is a power of two
+	slots  []atomic.Int32
+	// Padding keeps neighbouring deques of the engine's []deque on
+	// separate cache lines so a thief hammering one worker's top does
+	// not invalidate another worker's bottom.
+	_ [64]byte
+}
+
+// init sizes the deque for at most n queued tasks.
+func (d *deque) init(n int) {
+	capacity := int64(1)
+	for capacity < int64(n)+1 {
+		capacity <<= 1
+	}
+	d.mask = capacity - 1
+	d.slots = make([]atomic.Int32, capacity)
+}
+
+// push appends id at the bottom. Owner-only. The capacity check cannot
+// fire when the deque was sized for the whole graph; it guards against
+// a miscounted setup corrupting the top slot silently.
+func (d *deque) push(id int32) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b-t > d.mask {
+		panic("sched: work deque overflow")
+	}
+	d.slots[b&d.mask].Store(id)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes and returns the bottom-most id, or -1 when the deque is
+// empty or a thief won the race for the last element. Owner-only.
+func (d *deque) pop() int32 {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(b + 1)
+		return -1
+	}
+	id := d.slots[b&d.mask].Load()
+	if t == b {
+		// Last element: race the thieves for it via top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			id = -1 // a thief got there first
+		}
+		d.bottom.Store(b + 1)
+	}
+	return id
+}
+
+// steal takes the top-most id from another worker's deque. It returns
+// (id, true) on success, (-1, false) when the deque was observed empty,
+// and (-1, true) when it lost a race and retrying may still find work.
+func (d *deque) steal() (int32, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return -1, false
+	}
+	id := d.slots[t&d.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return -1, true
+	}
+	return id, true
+}
+
+// size reports a racy estimate of the queued task count; only the
+// parking protocol uses it, re-checked under the engine lock.
+func (d *deque) size() int64 {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b <= t {
+		return 0
+	}
+	return b - t
+}

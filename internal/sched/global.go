@@ -17,10 +17,12 @@ import (
 // parallelism the eforest-guided dependence graph adds over S*.
 
 // ExecuteGlobal runs every task of g exactly once with dependences
-// respected, using procs workers that pull the highest-priority ready
-// task from one global queue (task-level scheduling). Concurrent tasks
-// may target the same block column; that is safe for both dependence-
-// graph variants because unordered tasks touch disjoint rows.
+// respected, using procs workers under task-level scheduling: the
+// initially ready tasks are dealt round-robin over the workers in
+// descending priority order, and from then on the data-flow engine's
+// work-stealing balances the load. Concurrent tasks may target the
+// same block column; that is safe for both dependence-graph variants
+// because unordered tasks touch disjoint rows.
 //
 // The first task failure observed by any worker — a non-nil error from
 // run, or a panic in the task body — stops the execution and is
@@ -56,11 +58,7 @@ func ExecuteGlobalCancelable(g *taskgraph.Graph, procs int, prio []float64, rec 
 			return err
 		}
 	}
-	queue := &priorityQueue{prio: prio, ids: make([]int, 0, g.NumTasks())}
-	return executeWorkers(g, procs, rec, cancel,
-		func(int) *priorityQueue { return queue },
-		func(int) *priorityQueue { return queue },
-		run)
+	return executeAsync(g, procs, rec, cancel, nil, prio, run)
 }
 
 // SimulateGlobal performs deterministic task-level list scheduling of

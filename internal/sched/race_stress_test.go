@@ -12,12 +12,15 @@
 package sched_test
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/matgen"
+	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/verify"
 )
@@ -109,4 +112,101 @@ func TestWorkerPoolRaceStress(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestAsyncParityRobustVariants extends the bitwise-parity sweep to the
+// robustness corners of the suite, exercised through the async
+// work-stealing engine at P = 1, 2, 4, 8:
+//
+//   - a near-singular system under PivotPerturb must produce bitwise
+//     identical factors (checked through Solve) and the identical
+//     perturbation record at every worker count and in both executors;
+//   - a NaN-poisoned input must abort with ErrNonFinite wrapped in a
+//     *sched.TaskError at every worker count — the non-finite guard
+//     survives the stealing engine's arbitrary claim orders.
+func TestAsyncParityRobustVariants(t *testing.T) {
+	procsSweep := []int{1, 2, 4, 8}
+
+	t.Run("near-singular-perturb", func(t *testing.T) {
+		a, _, _ := matgen.NearSingular(8, 10, 21)
+		opts := core.DefaultOptions()
+		opts.Workers = 1
+		opts.PivotPolicy = core.PivotPerturb
+		s, err := core.Analyze(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := core.FactorizeWith(s, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.PivotPerturbations() == 0 {
+			t.Fatal("expected pivot perturbations on the near-singular system")
+		}
+		want := solveBitwise(t, ref, a.NCols)
+		wantPerturbed := fmt.Sprint(ref.PerturbedColumns())
+
+		for _, workers := range procsSweep {
+			s.Opts.Workers = workers
+			for _, exec := range []struct {
+				name string
+				run  func() (*core.Factorization, error)
+			}{
+				{"owner-mapped", func() (*core.Factorization, error) { return core.FactorizeWith(s, a) }},
+				{"global-steal", func() (*core.Factorization, error) { return core.FactorizeGlobal(s, a) }},
+			} {
+				f, err := exec.run()
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", exec.name, workers, err)
+				}
+				if f.PivotPerturbations() != ref.PivotPerturbations() {
+					t.Fatalf("%s workers=%d: %d perturbations, serial %d",
+						exec.name, workers, f.PivotPerturbations(), ref.PivotPerturbations())
+				}
+				if got := fmt.Sprint(f.PerturbedColumns()); got != wantPerturbed {
+					t.Fatalf("%s workers=%d: perturbed columns %s, serial %s",
+						exec.name, workers, got, wantPerturbed)
+				}
+				got := solveBitwise(t, f, a.NCols)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s workers=%d: x[%d] = %g, serial %g — not bitwise identical",
+							exec.name, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("nan-poisoned-input", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(20260808))
+		a := randomSquare(80, 0.06, rng)
+		// Poison one structural entry of the input so the non-finite
+		// guard must trip during the numeric phase.
+		a.Val[len(a.Val)/2] = math.NaN()
+		for _, workers := range procsSweep {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			s, err := core.Analyze(a, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, exec := range []struct {
+				name string
+				run  func() (*core.Factorization, error)
+			}{
+				{"owner-mapped", func() (*core.Factorization, error) { return core.FactorizeWith(s, a) }},
+				{"global-steal", func() (*core.Factorization, error) { return core.FactorizeGlobal(s, a) }},
+			} {
+				_, err := exec.run()
+				if !errors.Is(err, core.ErrNonFinite) {
+					t.Fatalf("%s workers=%d: err = %v, want ErrNonFinite", exec.name, workers, err)
+				}
+				var te *sched.TaskError
+				if !errors.As(err, &te) {
+					t.Fatalf("%s workers=%d: err = %v, want *sched.TaskError", exec.name, workers, err)
+				}
+			}
+		}
+	})
 }

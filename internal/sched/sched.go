@@ -3,8 +3,11 @@
 // processors with a 1-D block-column scheme (an entire block column is
 // owned by one processor — Section 4), and executed either
 //
-//   - for real, by a pool of goroutine workers with per-worker priority
-//     queues driven by dependence completion, or
+//   - for real, by an asynchronous data-flow engine (async.go): atomic
+//     per-task dependence counters, per-worker Chase–Lev work-stealing
+//     deques and a counter-based termination detector instead of level
+//     barriers, with the 1-D ownership (or a global priority order)
+//     deciding only the initial placement of ready tasks, or
 //   - deterministically, by a discrete-event machine simulator with a
 //     flop-rate and message-latency model of the Origin 2000, used to
 //     regenerate the paper's figures reproducibly.
@@ -13,7 +16,6 @@ package sched
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
@@ -143,10 +145,16 @@ func (q *priorityQueue) Less(i, j int) bool {
 func (q *priorityQueue) Swap(i, j int) { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
 
 // Execute runs every task of g exactly once with the dependence order
-// respected, using one goroutine per processor and the 1-D ownership
-// mapping. run is called with the task id; it must be safe for
-// concurrent invocation on different block columns. prio orders each
-// worker's ready queue (nil means bottom levels with unit weights).
+// respected, using one goroutine per processor. The 1-D ownership
+// mapping decides where ready tasks are seeded; once running, idle
+// workers steal from busy ones, so ownership is an affinity hint, not
+// mutual exclusion — two tasks of one block column may run
+// concurrently when the dependence graph leaves them unordered, which
+// is bitwise-safe because such tasks write disjoint rows (the branch
+// property; the orderings that matter are dependence edges). run is
+// called with the task id; it must be safe for concurrent invocation
+// on tasks the graph leaves unordered. prio orders each worker's
+// initial claims (nil means bottom levels with unit weights).
 //
 // The first task failure observed by any worker — a non-nil error from
 // run, or a panic in the task body — stops the execution and is
@@ -184,134 +192,5 @@ func ExecuteCancelable(g *taskgraph.Graph, owner Assignment, procs int, prio []f
 			return err
 		}
 	}
-	taskOwner := TaskOwners(g, owner)
-	// Per-owner queue capacities are known up front; preallocating them
-	// keeps the worker loop's heapPush calls allocation-free.
-	count := make([]int, procs)
-	for _, p := range taskOwner {
-		count[p]++
-	}
-	queues := make([]priorityQueue, procs)
-	for p := range queues {
-		queues[p].prio = prio
-		queues[p].ids = make([]int, 0, count[p])
-	}
-	return executeWorkers(g, procs, rec, cancel,
-		func(p int) *priorityQueue { return &queues[p] },
-		func(id int) *priorityQueue { return &queues[taskOwner[id]] },
-		run)
-}
-
-// executeWorkers is the worker engine shared by the owner-mapped and
-// task-level executors: the two differ only in which ready queue a
-// worker pops (workerQueue) and which queue a newly ready task joins
-// (queueFor) — per-worker queues under the 1-D mapping, one shared
-// queue for task-level scheduling. Both queue funcs are called with the
-// engine mutex held.
-//
-// The engine always runs with a Canceler (allocating a private one when
-// the caller passed nil) so the claim loop is branch-free about it: one
-// atomic flag load per task claim, tripped by the first task error or
-// by an external Cancel, bounds failure latency to the task bodies
-// already running.
-func executeWorkers(g *taskgraph.Graph, procs int, rec *trace.Recorder, cancel *Canceler,
-	workerQueue func(p int) *priorityQueue, queueFor func(id int) *priorityQueue, run func(id int) error) error {
-	indeg := g.InDegrees()
-
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
-	remaining := g.NumTasks()
-	completed := 0
-	var firstErr *TaskError
-
-	if cancel == nil {
-		cancel = &Canceler{}
-	}
-	// Wake workers sleeping on the condition variable when an external
-	// Cancel trips the flag; deregistered before returning so a later
-	// deadline firing cannot touch a finished execution.
-	defer cancel.subscribe(func() {
-		mu.Lock()
-		cond.Broadcast()
-		mu.Unlock()
-	})()
-
-	mu.Lock()
-	for id, d := range indeg {
-		if d == 0 {
-			heapPush(queueFor(id), id)
-		}
-	}
-	mu.Unlock()
-
-	var wg sync.WaitGroup
-	for p := 0; p < procs; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			q := workerQueue(p)
-			for {
-				mu.Lock()
-				for q.Len() == 0 && remaining > 0 && firstErr == nil && !cancel.flag.Load() {
-					cond.Wait()
-				}
-				if remaining == 0 || firstErr != nil || cancel.flag.Load() {
-					mu.Unlock()
-					return
-				}
-				id := heapPopID(q)
-				mu.Unlock()
-
-				var err error
-				if rec != nil {
-					start := rec.Now()
-					err = safeRun(run, id)
-					kind, col := traceKindCol(&g.Tasks[id])
-					rec.Record(p, id, kind, col, start)
-					if err != nil {
-						rec.Record(p, id, trace.KindAbort, col, rec.Now())
-					}
-				} else {
-					err = safeRun(run, id)
-				}
-
-				if err != nil {
-					te := &TaskError{ID: id, Task: g.Tasks[id].String(), Err: err}
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = te
-					}
-					cond.Broadcast()
-					mu.Unlock()
-					// Trip the flag outside the engine mutex (Cancel runs
-					// subscriber callbacks, which re-take it).
-					cancel.Cancel(te)
-					return
-				}
-				mu.Lock()
-				if firstErr != nil || cancel.flag.Load() {
-					mu.Unlock()
-					return
-				}
-				remaining--
-				completed++
-				for _, s := range g.Succ[id] {
-					indeg[s]--
-					if indeg[s] == 0 {
-						heapPush(queueFor(int(s)), int(s))
-					}
-				}
-				cond.Broadcast()
-				mu.Unlock()
-			}
-		}(p)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	if remaining > 0 {
-		return &CancelError{Cause: cancel.Cause(), Completed: completed, Total: g.NumTasks()}
-	}
-	return nil
+	return executeAsync(g, procs, rec, cancel, TaskOwners(g, owner), prio, run)
 }

@@ -211,10 +211,16 @@ func TestExecuteRespectsDependences(t *testing.T) {
 	}
 }
 
-func TestExecuteSerializesBlockColumns(t *testing.T) {
-	// All tasks of a block column run on its owner, so two tasks of the
-	// same destination column must never overlap.
-	g, _ := buildGraph(t, 25, 0.15, 94, taskgraph.EForest)
+func TestExecuteSerializesChainedColumns(t *testing.T) {
+	// Under the work-stealing engine the 1-D ownership is an affinity
+	// hint, not mutual exclusion: the serialization that matters comes
+	// from the dependence edges alone. In the S* graph every task of a
+	// destination column sits on one Theorem-4 chain, so two tasks of
+	// the same destination column must never overlap — at any worker
+	// count, wherever the thieves move them. (EForest deliberately
+	// leaves independent-subtree updates unordered; those write
+	// disjoint rows, so overlap there is bitwise-safe and allowed.)
+	g, _ := buildGraph(t, 25, 0.15, 94, taskgraph.SStar)
 	owner := BlockCyclic(g.N, 4)
 	var mu sync.Mutex
 	active := make(map[int]int) // destination column -> active count

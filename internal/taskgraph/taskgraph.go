@@ -83,6 +83,16 @@ type Graph struct {
 	UpdateID []map[int]int
 	// Succ[id] lists the successor task ids of task id.
 	Succ [][]int32
+	// ChainNext[id] is the next task of id's per-destination update
+	// chain (Theorem 4): for an Update task it is the same-destination
+	// successor the variant serializes it against — the next update of
+	// the chain, or F(j) when the update is last — and -1 when the task
+	// has no chain successor (Factor tasks, and EForest updates whose
+	// source is an elimination-forest root). Every chain link is also a
+	// dependence edge in Succ, which is what lets an asynchronous
+	// executor release chain successors strictly in order by obeying the
+	// dependence counters alone.
+	ChainNext []int32
 	// NumEdges is the total number of dependence edges.
 	NumEdges int
 }
@@ -119,16 +129,26 @@ func buildTasks(blockSym *symbolic.Result) (tasks []Task, factorID []int, update
 func New(blockSym *symbolic.Result, f *etree.Forest, v Variant) *Graph {
 	tasks, factorID, updateID := buildTasks(blockSym)
 	g := &Graph{
-		Variant:  v,
-		N:        blockSym.N,
-		Tasks:    tasks,
-		FactorID: factorID,
-		UpdateID: updateID,
-		Succ:     make([][]int32, len(tasks)),
+		Variant:   v,
+		N:         blockSym.N,
+		Tasks:     tasks,
+		FactorID:  factorID,
+		UpdateID:  updateID,
+		Succ:      make([][]int32, len(tasks)),
+		ChainNext: make([]int32, len(tasks)),
+	}
+	for i := range g.ChainNext {
+		g.ChainNext[i] = -1
 	}
 	addEdge := func(from, to int) {
 		g.Succ[from] = append(g.Succ[from], int32(to))
 		g.NumEdges++
+	}
+	// addChainEdge adds a dependence edge that is also a link of the
+	// destination's Theorem-4 update chain.
+	addChainEdge := func(from, to int) {
+		addEdge(from, to)
+		g.ChainNext[from] = int32(to)
 	}
 
 	// Shared rule: F(k) → U(k, j) for every update sourced at k.
@@ -156,10 +176,10 @@ func New(blockSym *symbolic.Result, f *etree.Forest, v Variant) *Graph {
 		for j := 0; j < g.N; j++ {
 			chain := incoming[j]
 			for t := 1; t < len(chain); t++ {
-				addEdge(chain[t-1], chain[t])
+				addChainEdge(chain[t-1], chain[t])
 			}
 			if len(chain) > 0 {
-				addEdge(chain[len(chain)-1], factorID[j])
+				addChainEdge(chain[len(chain)-1], factorID[j])
 			}
 		}
 	case EForest:
@@ -179,20 +199,20 @@ func New(blockSym *symbolic.Result, f *etree.Forest, v Variant) *Graph {
 					// (earlier trees), so nothing waits on it and it
 					// blocks nothing beyond its own factor dependence.
 				case p == j:
-					addEdge(id, factorID[j])
+					addChainEdge(id, factorID[j])
 				case p < j:
 					if nid, ok := updateID[p][j]; ok {
-						addEdge(id, nid)
+						addChainEdge(id, nid)
 					} else {
 						// Theorem 1 guarantees U(parent, j) exists when
 						// the blocked structure is a static fixed point;
 						// fall back to the conservative edge otherwise.
-						addEdge(id, factorID[j])
+						addChainEdge(id, factorID[j])
 					}
 				default:
 					// parent(k) > j cannot happen: ū_kj ≠ 0 forces
 					// parent(k) ≤ j. Be conservative if it does.
-					addEdge(id, factorID[j])
+					addChainEdge(id, factorID[j])
 				}
 			}
 		}

@@ -11,21 +11,30 @@ import (
 const HistBuckets = 32
 
 // WorkerStat aggregates one worker's activity over the trace window.
+// Scheduler events (KindSteal, KindIdle) are not work: they contribute
+// to Steals/SchedNs only, never to Tasks, Busy or Utilization.
 type WorkerStat struct {
 	Worker int
-	// Tasks is the number of events the worker executed.
+	// Tasks is the number of work events the worker executed.
 	Tasks int
-	// Busy is the summed event duration in nanoseconds.
+	// Busy is the summed work-event duration in nanoseconds.
 	Busy int64
 	// Idle is the trace window minus Busy.
 	Idle int64
-	// LongestIdle is the longest single gap (ns) with no event running
-	// on this worker, including the spans before its first and after
-	// its last event.
+	// LongestIdle is the longest single gap (ns) with no work event
+	// running on this worker, including the spans before its first and
+	// after its last event.
 	LongestIdle int64
 	// Utilization is Busy divided by the trace makespan (0 when the
 	// makespan is zero).
 	Utilization float64
+	// Steals counts the worker's successful steals (KindSteal events;
+	// zero unless the recorder had scheduler events enabled).
+	Steals int
+	// SchedNs is the summed duration of the worker's scheduler events —
+	// time spent searching for work or parked (zero unless scheduler
+	// events were enabled).
+	SchedNs int64
 }
 
 // KindStat aggregates the events of one task kind.
@@ -74,14 +83,33 @@ func Summarize(events []Event, workers int) *Summary {
 		}
 		return s
 	}
-	start := events[0].Start
-	end := events[0].End
+	// The trace window spans the work events only: a parked worker's
+	// idle span is woken by the termination broadcast, so letting
+	// scheduler events stretch the window would charge the engine's own
+	// shutdown against utilization.
+	start, end := int64(0), int64(0)
+	windowSet := false
 	for _, e := range events {
-		if e.Start < start {
+		if e.Kind.IsSched() {
+			continue
+		}
+		if !windowSet || e.Start < start {
 			start = e.Start
 		}
-		if e.End > end {
+		if !windowSet || e.End > end {
 			end = e.End
+		}
+		windowSet = true
+	}
+	if !windowSet { // degenerate: only scheduler events recorded
+		start, end = events[0].Start, events[0].End
+		for _, e := range events {
+			if e.Start < start {
+				start = e.Start
+			}
+			if e.End > end {
+				end = e.End
+			}
 		}
 	}
 	s.Makespan = end - start
@@ -95,7 +123,9 @@ func Summarize(events []Event, workers int) *Summary {
 		if int(e.Worker) >= 0 && int(e.Worker) < workers {
 			perWorker[e.Worker] = append(perWorker[e.Worker], e)
 		}
-		s.TotalBusy += e.Duration()
+		if !e.Kind.IsSched() {
+			s.TotalBusy += e.Duration()
+		}
 		if int(e.Kind) < len(kinds) {
 			ks := &kinds[e.Kind]
 			d := e.Duration()
@@ -120,6 +150,13 @@ func Summarize(events []Event, workers int) *Summary {
 		ws.Worker = w
 		cursor := start // end of the last busy span seen so far
 		for _, e := range evs {
+			if e.Kind.IsSched() {
+				if e.Kind == KindSteal {
+					ws.Steals++
+				}
+				ws.SchedNs += e.Duration()
+				continue
+			}
 			ws.Tasks++
 			ws.Busy += e.Duration()
 			if gap := e.Start - cursor; gap > ws.LongestIdle {

@@ -50,9 +50,25 @@ const (
 	// KindSolveU is one backward-sweep solve task — the Ū sweep, or
 	// the Ûᵀ sweep of SolveTranspose.
 	KindSolveU
+	// KindSteal is one successful steal of the work-stealing executor:
+	// the span from the moment a worker's own deque came up empty to the
+	// moment it obtained a task from a victim. Task is NoTask; Col
+	// carries the victim worker's id. Recorded only when the recorder
+	// has scheduler events enabled (SetSchedEvents).
+	KindSteal
+	// KindIdle is one parked span of the work-stealing executor: the
+	// worker found every deque empty and slept until it was woken. Task
+	// is NoTask, Col is -1. Recorded only when scheduler events are
+	// enabled.
+	KindIdle
 	// numKinds bounds the Kind enumeration for per-kind aggregation.
 	numKinds
 )
+
+// IsSched reports whether the kind is a scheduler event (steal or idle
+// span) rather than executed work: scheduler events are excluded from
+// busy time and utilization in Summarize.
+func (k Kind) IsSched() bool { return k == KindSteal || k == KindIdle }
 
 // String names the kind for exports and summaries.
 func (k Kind) String() string {
@@ -69,6 +85,10 @@ func (k Kind) String() string {
 		return "solveL"
 	case KindSolveU:
 		return "solveU"
+	case KindSteal:
+		return "steal"
+	case KindIdle:
+		return "idle"
 	}
 	return "unknown"
 }
@@ -101,8 +121,9 @@ type workerBuf struct {
 
 // Recorder collects execution events from a fixed set of workers.
 type Recorder struct {
-	epoch time.Time
-	bufs  []workerBuf
+	epoch       time.Time
+	schedEvents bool
+	bufs        []workerBuf
 }
 
 // New returns a recorder for the given number of workers (values below
@@ -118,26 +139,42 @@ func New(workers int) *Recorder {
 // Workers returns the number of per-worker buffers.
 func (r *Recorder) Workers() int { return len(r.bufs) }
 
+// SetSchedEvents enables or disables scheduler-event recording (steal
+// and idle spans, KindSteal/KindIdle). It defaults to off so a plain
+// traced run records exactly one event per task; turning it on makes
+// the executor's search time visible in Chrome traces. Must not be
+// called concurrently with a traced execution.
+func (r *Recorder) SetSchedEvents(on bool) { r.schedEvents = on }
+
+// SchedEvents reports whether scheduler-event recording is enabled.
+func (r *Recorder) SchedEvents() bool { return r.schedEvents }
+
 // Now returns the current trace clock in nanoseconds since the
 // recorder was created. It reads the monotonic clock.
 func (r *Recorder) Now() int64 { return int64(time.Since(r.epoch)) }
 
 // Record appends one event to worker's buffer, stamping the end time
-// with the trace clock. It takes no locks; a worker id outside the
-// recorder's range is a programming error and panics.
-func (r *Recorder) Record(worker, task int, kind Kind, col int, start int64) {
+// with the trace clock. It returns the stamped end so an executor that
+// immediately continues with another task can start that task's span
+// here — charging the hand-over bookkeeping between the two to the
+// next span instead of leaving a clock-read-sized hole between them.
+// It takes no locks; a worker id outside the recorder's range is a
+// programming error and panics.
+func (r *Recorder) Record(worker, task int, kind Kind, col int, start int64) int64 {
 	if worker < 0 || worker >= len(r.bufs) {
 		panic("trace: worker id outside the recorder's range")
 	}
+	end := r.Now()
 	b := &r.bufs[worker]
 	b.events = append(b.events, Event{
 		Start:  start,
-		End:    r.Now(),
+		End:    end,
 		Task:   int32(task),
 		Col:    int32(col),
 		Worker: int32(worker),
 		Kind:   kind,
 	})
+	return end
 }
 
 // Reset drops all recorded events, keeping the buffers' capacity and
