@@ -4,6 +4,7 @@
 #   ./check.sh lint    # gofmt, vet, build, lucheck -audit
 #   ./check.sh test    # race-enabled test suite
 #   ./check.sh chaos   # fault-injection / cancellation stress, -race, repeated
+#   ./check.sh service # sluserver chaos suite under -race + live HTTP smoke
 #   ./check.sh bench   # paperbench small suite + regression compare
 #   ./check.sh [all]   # everything above (the default)
 #
@@ -60,6 +61,62 @@ chaos() {
 		./internal/sched/ ./internal/core/ ./internal/faultinject/ ./internal/gplu/ .
 }
 
+service_stage() {
+	# The solve service under stress: the server package's chaos suite
+	# (injected panics/NaNs/delays across dozens of concurrent requests,
+	# admission shedding, drain, the recovery ladder, batched-solve
+	# bitwise parity) under the race detector, then a live smoke of the
+	# built daemon over HTTP with a deterministic fault plan.
+	# SPARSELU_SERVICE_COUNT (default 2) sets the -race repetition count.
+	echo "==> service chaos (-race)"
+	go test -race -count "${SPARSELU_SERVICE_COUNT:-2}" ./internal/server/
+
+	echo "==> service smoke (live HTTP, injected fault)"
+	tmp=$(mktemp -d)
+	go build -o "$tmp/sluserver" ./cmd/sluserver
+	# Request #3 is NaN-poisoned: the solve must come back 422/non_finite
+	# while its neighbors stay healthy.
+	SLUSERVER_FAULTS="3:nan" "$tmp/sluserver" -addr 127.0.0.1:0 2>"$tmp/log" &
+	smoke_pid=$!
+	smoke_fail() {
+		echo "service smoke: $1" >&2
+		cat "$tmp/log" >&2 || true
+		kill "$smoke_pid" 2>/dev/null || true
+		rm -rf "$tmp"
+		exit 1
+	}
+	smoke_addr=""
+	i=0
+	while [ $i -lt 50 ]; do
+		smoke_addr=$(sed -n 's/^sluserver: listening on //p' "$tmp/log")
+		[ -n "$smoke_addr" ] && break
+		kill -0 "$smoke_pid" 2>/dev/null || smoke_fail "daemon exited before listening"
+		sleep 0.1
+		i=$((i + 1))
+	done
+	[ -n "$smoke_addr" ] || smoke_fail "daemon never reported its address"
+
+	curl -sf "http://$smoke_addr/healthz" >/dev/null || smoke_fail "healthz failed"
+	# 1: factorize a 2x2 SPD-ish system; 2: solve it; 3: poisoned solve;
+	# 4: clean solve again (the fault must not have corrupted the store).
+	out=$(curl -s "http://$smoke_addr/v1/factorize" \
+		-d '{"matrix":{"n":2,"rows":[0,1,0],"cols":[0,1,1],"vals":[4,3,1]}}')
+	case "$out" in *'"fid":"f1"'*) ;; *) smoke_fail "factorize: $out" ;; esac
+	out=$(curl -s "http://$smoke_addr/v1/solve" -d '{"fid":"f1","b":[5,3]}')
+	case "$out" in *'"x":[1,1]'*) ;; *) smoke_fail "solve: $out" ;; esac
+	out=$(curl -s "http://$smoke_addr/v1/solve" -d '{"fid":"f1","b":[5,3]}')
+	case "$out" in *'"code":"non_finite"'*) ;; *) smoke_fail "poisoned solve: $out" ;; esac
+	out=$(curl -s "http://$smoke_addr/v1/solve" -d '{"fid":"f1","b":[5,3]}')
+	case "$out" in *'"x":[1,1]'*) ;; *) smoke_fail "post-fault solve: $out" ;; esac
+	out=$(curl -s "http://$smoke_addr/metrics")
+	case "$out" in *'"faults_injected":1'*) ;; *) smoke_fail "metrics: $out" ;; esac
+
+	kill -TERM "$smoke_pid"
+	wait "$smoke_pid" || smoke_fail "daemon did not drain cleanly"
+	rm -rf "$tmp"
+	echo "service smoke passed at $smoke_addr"
+}
+
 bench() {
 	echo "==> kernel benchmarks (output kept as CI artifact)"
 	mkdir -p bench-out
@@ -86,15 +143,17 @@ case "$stage" in
 lint) lint ;;
 test) test_stage ;;
 chaos) chaos ;;
+service) service_stage ;;
 bench) bench ;;
 all)
 	lint
 	test_stage
 	chaos
+	service_stage
 	bench
 	;;
 *)
-	echo "check.sh: unknown stage '$stage' (want lint, test, chaos, bench or all)" >&2
+	echo "check.sh: unknown stage '$stage' (want lint, test, chaos, service, bench or all)" >&2
 	exit 2
 	;;
 esac

@@ -26,6 +26,7 @@ var fixtureDirs = map[string]string{
 	"repro/fixture/capfix":     "capfix",
 	"repro/fixture/cgfix":      "cgfix",
 	"repro/fixture/justfix":    "justfix",
+	"repro/fixture/ctxfix":     "ctxfix",
 	"repro/fixture/mutlevels":  "mutlevels",
 	"repro/fixture/mutdescend": "mutdescend",
 	"repro/fixture/mutcapture": "mutcapture",
@@ -310,4 +311,73 @@ func readFixture(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return string(data)
+}
+
+// TestRequestCtxFixture pins the request-ctx rule on its fixture: the
+// context.Background/TODO calls and the detached goroutines fire
+// exactly on their `want` lines, the cancellation-threading goroutines
+// stay silent, and the suppression path works. The fixture's virtual
+// path is scoped into the service set for the run; the real scoping
+// (internal/server) is covered by TestRepoClean keeping the repo
+// itself at zero findings.
+func TestRequestCtxFixture(t *testing.T) {
+	pkgs, fset, mod := loadOnce(t)
+	const ctxPath = "repro/fixture/ctxfix"
+	var pi *pkgInfo
+	for _, p := range pkgs {
+		if p.path == ctxPath {
+			pi = p
+		}
+	}
+	if pi == nil {
+		t.Fatal("ctxfix fixture not loaded")
+	}
+
+	cfg := defaultConfig(mod)
+	cfg.service[ctxPath] = true
+
+	var got []finding
+	for _, f := range analyzePkg(fset, pi, cfg) {
+		if f.rule != "request-ctx" {
+			t.Errorf("unexpected rule in ctxfix: %s", f)
+			continue
+		}
+		got = append(got, f)
+	}
+
+	data, err := os.ReadFile(filepath.Join("testdata", "src", "ctxfix", "ctxfix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := map[int]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "// want request-ctx") {
+			wantLines[i+1] = true
+		}
+	}
+	if len(wantLines) != 4 {
+		t.Fatalf("fixture has %d want markers, expected 4", len(wantLines))
+	}
+	gotLines := map[int]bool{}
+	for _, f := range got {
+		gotLines[f.pos.Line] = true
+	}
+	for line := range wantLines {
+		if !gotLines[line] {
+			t.Errorf("no request-ctx finding on fixture line %d", line)
+		}
+	}
+	for line := range gotLines {
+		if !wantLines[line] {
+			t.Errorf("unexpected request-ctx finding on fixture line %d", line)
+		}
+	}
+
+	// Scoped out, the rule must not fire at all.
+	clean := defaultConfig(mod)
+	for _, f := range analyzePkg(fset, pi, clean) {
+		if f.rule == "request-ctx" {
+			t.Errorf("request-ctx fired outside the service scope: %s", f)
+		}
+	}
 }

@@ -52,6 +52,16 @@ package main
 //     (sched.Execute*) — those closures are the per-task worker bodies
 //     of the numeric and solve hot paths even though the `go` statement
 //     lives in internal/sched.
+//   - request-ctx: in the request-serving packages (internal/server),
+//     context.Background() and context.TODO() are forbidden — every
+//     operation must run under the request's context so deadlines and
+//     client disconnects reach the numeric kernels — and every `go`
+//     statement must visibly thread a cancellation signal: the spawned
+//     code (or its arguments) must reference a context.Context, a
+//     *sched.Canceler, or perform a channel operation. A detached
+//     goroutine in a long-lived server is a leak the chaos suite's
+//     goroutine accounting would only catch after the fact; the rule
+//     catches it at review time.
 
 import (
 	"fmt"
@@ -94,6 +104,10 @@ type config struct {
 	// literals passed to the sched executors (their per-task worker
 	// bodies), unless they are also hotpath.
 	schedClients map[string]bool
+	// service packages get the request-ctx rule: no
+	// context.Background/TODO, and `go` statements must thread a
+	// cancellation signal.
+	service map[string]bool
 	// contract packages carry the bitwise-determinism contract and get
 	// the map-order taint rule. cmd/lucheck checks itself: its findings
 	// and package walks must be deterministically ordered too.
@@ -140,6 +154,9 @@ func defaultConfig(modPath string) *config {
 		},
 		schedClients: map[string]bool{
 			p("internal/core"): true,
+		},
+		service: map[string]bool{
+			p("internal/server"): true,
 		},
 		contract: map[string]bool{
 			p("internal/core"):      true,
@@ -263,6 +280,9 @@ func (a *analysis) pkgRules(pi *pkgInfo) {
 			p.workerTiming(f)
 			p.workerExit(f)
 			p.spinLoop(f)
+		}
+		if a.cfg.service[pi.path] {
+			p.requestCtx(f)
 		}
 		// Whole-file hot-alloc takes precedence over the narrower scans
 		// so a package in several sets is not double-reported.
@@ -1054,4 +1074,90 @@ func (lc *lockChecker) checkWrite(e ast.Expr) {
 			return
 		}
 	}
+}
+
+// requestCtx enforces context hygiene in the request-serving packages:
+// context.Background()/context.TODO() are forbidden (they discard the
+// request's deadline and disconnect signal exactly where those must
+// reach the numeric kernels), and every `go` statement must visibly
+// thread a cancellation signal — the spawned code or its arguments
+// must reference a context.Context or *sched.Canceler value, or
+// perform a channel operation. Timer callbacks (time.AfterFunc) are
+// not `go` statements and stay out of scope: they are one-shot and
+// stopped by their owners.
+func (p *pass) requestCtx(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.pi.info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "context" {
+				return true
+			}
+			if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+				p.report(st.Pos(), "request-ctx",
+					"context.%s() in a request-serving package discards the request's deadline and cancellation; thread the request context instead", sel.Sel.Name)
+			}
+		case *ast.GoStmt:
+			if !p.threadsCancellation(st.Call) {
+				p.report(st.Pos(), "request-ctx",
+					"goroutine does not thread a cancellation signal (no context.Context, *sched.Canceler or channel operation); a detached goroutine in a long-lived server outlives its request")
+			}
+		}
+		return true
+	})
+}
+
+// threadsCancellation reports whether the spawned call references a
+// cancellation carrier: a value of type context.Context or
+// sched.Canceler anywhere in the call (arguments included), or a
+// channel operation / channel-typed value inside a function literal's
+// body.
+func (p *pass) threadsCancellation(call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		case ast.Expr:
+			if t := p.pi.info.TypeOf(v); t != nil && carriesCancellation(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// carriesCancellation recognizes the cancellation-carrying types:
+// context.Context, sched.Canceler (possibly behind a pointer), and
+// channels.
+func carriesCancellation(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return carriesCancellation(u.Elem())
+	case *types.Chan:
+		return true
+	}
+	switch s := t.String(); {
+	case s == "context.Context":
+		return true
+	case strings.HasSuffix(s, "/sched.Canceler") || s == "sched.Canceler":
+		return true
+	}
+	return false
 }

@@ -1,0 +1,46 @@
+// Package ctxfix is the request-ctx fixture: context hygiene
+// violations in a request-serving package, next to the legal forms
+// that must stay silent.
+package ctxfix
+
+import (
+	"context"
+	"time"
+)
+
+// Detached reproduces the violations.
+func Detached(ctx context.Context, work chan int) {
+	_ = context.Background() // want request-ctx
+	_ = context.TODO()       // want request-ctx
+	go leak()                // want request-ctx
+	go func() {              // want request-ctx
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func leak() { time.Sleep(time.Millisecond) }
+
+// Threaded shows the legal forms: goroutines that reference the
+// request context, receive from a channel, send into one, or select.
+func Threaded(ctx context.Context, work chan int, done chan struct{}) {
+	go func() {
+		<-ctx.Done()
+	}()
+	go func() {
+		<-work
+	}()
+	go func() {
+		done <- struct{}{}
+	}()
+	go func() {
+		select {
+		case <-work:
+		default:
+		}
+	}()
+	go watch(ctx)
+	//lucheck:allow request-ctx — fixture: exercises the suppression path
+	go leak()
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }

@@ -20,7 +20,7 @@ const allocBudget = 64
 // and returns the heap objects allocated during the execution itself.
 func measureExecAllocs(t *testing.T, s *Symbolic, a *sparse.CSC, global bool, procs int) (allocs uint64, tasks int) {
 	t.Helper()
-	f, err := newFactorization(s, a)
+	f, err := newFactorization(s, a, resolveNumOpts(s, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

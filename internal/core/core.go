@@ -105,6 +105,74 @@ type Options struct {
 	Cancel *sched.Canceler
 }
 
+// NumericOptions is the per-call state of one numeric factorization
+// and its solves, split out of Options so that one immutable Symbolic
+// can serve many concurrent factorizations with different worker
+// counts, pivot policies, deadlines and cancellation signals. The
+// analysis-shaping fields (Ordering, Postorder, TaskGraph,
+// Amalgamation, Verify) stay on Options: they are baked into the
+// Symbolic and changing them requires a fresh Analyze.
+//
+// A nil *NumericOptions passed to FactorizeWithOpts means "read the
+// per-call fields from the Symbolic's recorded Options at call time" —
+// the historical behavior, kept for callers that retune s.Opts between
+// factorizations. Long-lived services sharing one Symbolic across
+// goroutines must pass explicit NumericOptions instead, so the shared
+// analysis is never written after publication.
+type NumericOptions struct {
+	// Workers is the numeric-phase worker count (values < 1 mean 1).
+	Workers int
+	// SolveWorkers is the triangular-solve worker count; 0 inherits
+	// Workers, values < 0 mean 1.
+	SolveWorkers int
+	// PivotPolicy selects the response to pivots the static row set
+	// cannot stabilize.
+	PivotPolicy PivotPolicy
+	// Equilibrate scales rows and columns to unit maxima before
+	// factoring; solves transparently undo the scaling.
+	Equilibrate bool
+	// Timeout bounds the wall-clock duration of each bounded phase: the
+	// parallel numeric factorization AND every solve call (Solve,
+	// SolveMany, SolveTranspose and the paths routed through them). A
+	// fresh deadline timer is armed per phase; expiry surfaces as an
+	// error wrapping ErrDeadlineExceeded. Zero means no limit.
+	Timeout time.Duration
+	// Cancel optionally connects the numeric phase and the solves to an
+	// external cancellation signal.
+	Cancel *sched.Canceler
+	// Trace optionally records per-task events (must have at least
+	// Workers buffers).
+	Trace *trace.Recorder
+}
+
+// numeric extracts the per-call numeric state of o.
+func (o *Options) numeric() NumericOptions {
+	return NumericOptions{
+		Workers:      o.Workers,
+		SolveWorkers: o.SolveWorkers,
+		PivotPolicy:  o.PivotPolicy,
+		Equilibrate:  o.Equilibrate,
+		Timeout:      o.Timeout,
+		Cancel:       o.Cancel,
+		Trace:        o.Trace,
+	}
+}
+
+// withDefaults normalizes a NumericOptions value.
+func (n *NumericOptions) withDefaults() NumericOptions {
+	out := *n
+	if out.Workers < 1 {
+		out.Workers = 1
+	}
+	if out.SolveWorkers == 0 {
+		out.SolveWorkers = out.Workers
+	}
+	if out.SolveWorkers < 1 {
+		out.SolveWorkers = 1
+	}
+	return out
+}
+
 // DefaultOptions returns the configuration used for the paper's headline
 // experiments.
 func DefaultOptions() *Options {

@@ -41,9 +41,16 @@ func (f *Factorization) SolveTranspose(b []float64) ([]float64, error) {
 			y[i] *= f.cscale[i]
 		}
 	}
-	procs := f.solveProcs()
-	f.runSweep(f.S.SolveFwdT, procs, trace.KindSolveU, func(k int) { f.fwdStepT(k, y) })
-	f.runSweep(f.S.SolveBwdT, procs, trace.KindSolveL, func(k int) { f.bwdStepT(k, y) })
+	procs, rec, cancel, stop := f.solveOpts(nil)
+	defer stop()
+	if err := f.runSweep(f.S.SolveFwdT, procs, rec, cancel, trace.KindSolveU, func(k int) { f.fwdStepT(k, y) }); err != nil {
+		f.putWorkspace(ws)
+		return nil, err
+	}
+	if err := f.runSweep(f.S.SolveBwdT, procs, rec, cancel, trace.KindSolveL, func(k int) { f.bwdStepT(k, y) }); err != nil {
+		f.putWorkspace(ws)
+		return nil, err
+	}
 	if f.rscale != nil {
 		for i := range y {
 			y[i] *= f.rscale[i]
@@ -120,10 +127,20 @@ func (f *Factorization) bwdStepT(k int, y []float64) {
 // below tol (tol ≤ 0 means machine-precision level, 1e-14). Returns the
 // solution, the final backward error, and the refinement steps taken.
 func (f *Factorization) SolveRefined(a *sparse.CSC, b []float64, maxIter int, tol float64) ([]float64, float64, int, error) {
+	return f.SolveRefinedWith(a, b, maxIter, tol, nil)
+}
+
+// SolveRefinedWith is SolveRefined with an explicit per-call options
+// override applied to the initial solve and every refinement solve
+// (nil nopts is plain SolveRefined). A deadline in nopts bounds each
+// triangular sweep individually, so a refinement loop under deadline
+// pressure fails on its first over-budget sweep rather than at the
+// iteration boundary.
+func (f *Factorization) SolveRefinedWith(a *sparse.CSC, b []float64, maxIter int, tol float64, nopts *NumericOptions) ([]float64, float64, int, error) {
 	if tol <= 0 {
 		tol = 1e-14
 	}
-	x, err := f.Solve(b)
+	x, err := f.SolveWith(b, nopts)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -135,7 +152,7 @@ func (f *Factorization) SolveRefined(a *sparse.CSC, b []float64, maxIter int, to
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}
-		dx, err := f.Solve(r)
+		dx, err := f.SolveWith(r, nopts)
 		if err != nil {
 			return nil, 0, 0, err
 		}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/luerr"
 	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/taskgraph"
@@ -17,18 +17,22 @@ import (
 )
 
 // ErrNumericallySingular is returned when a panel factorization meets an
-// exactly zero pivot column.
-var ErrNumericallySingular = errors.New("core: matrix is numerically singular")
+// exactly zero pivot column. It also matches luerr.ErrSingular, the
+// cross-solver singularity class.
+var ErrNumericallySingular = luerr.Tag("core: matrix is numerically singular", luerr.ErrSingular)
 
 // ErrNonFinite is wrapped by the task failure that aborts a
 // factorization whose kernels produced a NaN or an Inf: once a
 // non-finite value enters the factors every downstream task is wasted
 // work, so the executor cancels promptly instead of completing the DAG.
-var ErrNonFinite = errors.New("core: non-finite value in factorization")
+// It also matches luerr.ErrNonFinite.
+var ErrNonFinite = luerr.Tag("core: non-finite value in factorization", luerr.ErrNonFinite)
 
-// ErrDeadlineExceeded is the cancellation cause installed when
-// Options.Timeout expires before the numeric phase completes.
-var ErrDeadlineExceeded = errors.New("core: factorization deadline exceeded")
+// ErrDeadlineExceeded is the cancellation cause installed when a phase
+// deadline (Options.Timeout / NumericOptions.Timeout) expires before
+// the numeric phase or a solve completes. It also matches
+// luerr.ErrDeadline.
+var ErrDeadlineExceeded = luerr.Tag("core: factorization deadline exceeded", luerr.ErrDeadline)
 
 // SingularError reports numeric singularity with the first affected
 // column attached, in the original (unpermuted) column numbering. It
@@ -109,6 +113,21 @@ type Factorization struct {
 	// concurrent solves on one factorization each check out their own,
 	// so steady-state solves allocate nothing beyond their results.
 	solveWS sync.Pool
+	// nopts freezes the per-call numeric options this factorization was
+	// created with (FactorizeWithOpts). Nil means the legacy path: the
+	// solve-time knobs are re-read from S.Opts on every call, so
+	// existing callers that retune s.Opts between solves keep working.
+	// Service callers always set it, which is what makes one Symbolic
+	// safely shareable across concurrent requests.
+	nopts *NumericOptions
+}
+
+// numOpts resolves the per-call numeric options of solve-time paths.
+func (f *Factorization) numOpts() NumericOptions {
+	if f.nopts != nil {
+		return *f.nopts
+	}
+	return f.S.Opts.numeric()
 }
 
 // Singular reports whether any panel hit an exactly zero pivot.
@@ -190,41 +209,71 @@ func Factorize(a *sparse.CSC, opts *Options) (*Factorization, error) {
 
 // FactorizeWith performs the numeric factorization of a using an
 // existing analysis (a must have the structure the analysis was computed
-// from). The number of workers comes from the analysis options.
+// from). The per-call numeric state (workers, pivot policy, deadline,
+// …) is re-read from the analysis options at every call — the
+// historical single-caller contract. Concurrent callers sharing one
+// Symbolic should use FactorizeWithOpts instead.
 func FactorizeWith(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
-	f, err := newFactorization(s, a)
+	return FactorizeWithOpts(s, a, nil)
+}
+
+// FactorizeWithOpts is FactorizeWith with explicit per-call numeric
+// options: the Symbolic is treated as immutable shared input and every
+// piece of per-call state (worker counts, pivot policy, equilibration,
+// deadline, cancellation, tracing) comes from nopts, so any number of
+// goroutines may factor through one analysis concurrently. A nil nopts
+// falls back to the Symbolic's recorded options, preserving the legacy
+// retune-s.Opts-between-calls behavior.
+func FactorizeWithOpts(s *Symbolic, a *sparse.CSC, nopts *NumericOptions) (*Factorization, error) {
+	eff := resolveNumOpts(s, nopts)
+	f, err := newFactorization(s, a, eff)
 	if err != nil {
 		return nil, err
 	}
-	workers := s.Opts.Workers
-	owner := sched.BlockCyclic(s.BlockSym.N, workers)
+	f.nopts = nopts
+	owner := sched.BlockCyclic(s.BlockSym.N, eff.Workers)
 	prio, err := s.Graph.BottomLevels(s.Costs.TaskFlops)
 	if err != nil {
 		return nil, err
 	}
-	cancel, stop := numericCanceler(s.Opts)
+	cancel, stop := numericCanceler(eff.Timeout, eff.Cancel)
 	defer stop()
-	if err := sched.ExecuteCancelable(s.Graph, owner, workers, prio, s.Opts.Trace, cancel, f.runTask); err != nil {
+	if err := sched.ExecuteCancelable(s.Graph, owner, eff.Workers, prio, eff.Trace, cancel, f.runTask); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
-// numericCanceler resolves the cancellation signal of the numeric
-// phase: the caller's canceler (if any), with the Timeout deadline armed
-// on it. The returned stop func disarms the deadline timer; callers must
-// invoke it once the execution returns.
-func numericCanceler(opts Options) (*sched.Canceler, func()) {
-	cancel := opts.Cancel
-	if opts.Timeout <= 0 {
-		return cancel, func() {}
+// resolveNumOpts normalizes the per-call options of one factorization:
+// the caller's explicit NumericOptions, or the Symbolic's recorded
+// Options when nopts is nil.
+func resolveNumOpts(s *Symbolic, nopts *NumericOptions) NumericOptions {
+	if nopts == nil {
+		legacy := s.Opts.numeric()
+		return legacy.withDefaults()
+	}
+	return nopts.withDefaults()
+}
+
+// numericCanceler resolves the cancellation signal of one bounded
+// phase (the numeric factorization, or one solve call): the caller's
+// canceler (if any), with the timeout deadline armed on it. The
+// returned stop func disarms the deadline timer; callers must invoke
+// it once the phase returns.
+func numericCanceler(timeout time.Duration, cancel *sched.Canceler) (*sched.Canceler, func()) {
+	if timeout <= 0 {
+		return cancel, noopStop
 	}
 	if cancel == nil {
 		cancel = &sched.Canceler{}
 	}
-	timer := time.AfterFunc(opts.Timeout, func() { cancel.Cancel(ErrDeadlineExceeded) })
+	timer := time.AfterFunc(timeout, func() { cancel.Cancel(ErrDeadlineExceeded) })
 	return cancel, func() { timer.Stop() }
 }
+
+// noopStop is the shared no-op disarm func of unbounded phases, so the
+// uncancelled hot path allocates no closure.
+func noopStop() {}
 
 // FactorizeGlobal is FactorizeWith with task-level scheduling: workers
 // pull any ready task from a shared queue instead of owning block
@@ -232,7 +281,8 @@ func numericCanceler(opts Options) (*sched.Canceler, func()) {
 // Unordered tasks touch disjoint rows (the branch property), so the
 // concurrent writes are race-free for both dependence-graph variants.
 func FactorizeGlobal(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
-	f, err := newFactorization(s, a)
+	eff := resolveNumOpts(s, nil)
+	f, err := newFactorization(s, a, eff)
 	if err != nil {
 		return nil, err
 	}
@@ -240,17 +290,19 @@ func FactorizeGlobal(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 	if err != nil {
 		return nil, err
 	}
-	cancel, stop := numericCanceler(s.Opts)
+	cancel, stop := numericCanceler(eff.Timeout, eff.Cancel)
 	defer stop()
-	if err := sched.ExecuteGlobalCancelable(s.Graph, s.Opts.Workers, prio, s.Opts.Trace, cancel, f.runTask); err != nil {
+	if err := sched.ExecuteGlobalCancelable(s.Graph, eff.Workers, prio, eff.Trace, cancel, f.runTask); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
 // newFactorization allocates the block storage and scatters the numeric
-// values of the permuted matrix into it.
-func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
+// values of the permuted matrix into it. eff carries the resolved
+// per-call numeric options; only the Symbolic's structural fields are
+// read, never written.
+func newFactorization(s *Symbolic, a *sparse.CSC, eff NumericOptions) (*Factorization, error) {
 	if a.NRows != s.N || a.NCols != s.N {
 		return nil, fmt.Errorf("core: matrix is %d×%d, analysis is for order %d", a.NRows, a.NCols, s.N)
 	}
@@ -260,7 +312,7 @@ func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 		cols:      make([]blockCol, nb),
 		ipiv:      make([][]int, nb),
 		panelRows: make([][]int, nb),
-		policy:    s.Opts.PivotPolicy,
+		policy:    eff.PivotPolicy,
 		perturbed: make([][]int, nb),
 	}
 	f.badCol.Store(-1)
@@ -305,14 +357,14 @@ func newFactorization(s *Symbolic, a *sparse.CSC) (*Factorization, error) {
 	// worker 0 so traces account for the time spent before the parallel
 	// phase.
 	ap := s.PermuteInput(a)
-	if s.Opts.Equilibrate {
+	if eff.Equilibrate {
 		var start int64
-		if rec := s.Opts.Trace; rec != nil {
+		if rec := eff.Trace; rec != nil {
 			start = rec.Now()
 		}
 		f.rscale, f.cscale = Equilibrate(ap)
 		ap = applyScaling(ap, f.rscale, f.cscale)
-		if rec := s.Opts.Trace; rec != nil {
+		if rec := eff.Trace; rec != nil {
 			rec.Record(0, trace.NoTask, trace.KindScale, -1, start)
 		}
 	}

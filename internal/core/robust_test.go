@@ -162,7 +162,7 @@ func TestPanicInUpdateTaskAborts(t *testing.T) {
 	if updateID < 0 {
 		t.Skip("graph has no update tasks")
 	}
-	f, err := newFactorization(s, a)
+	f, err := newFactorization(s, a, resolveNumOpts(s, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestPoisonNaNTripsGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := newFactorization(s, a)
+	f, err := newFactorization(s, a, resolveNumOpts(s, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestInjectorTransparencyBitwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := newFactorization(s, a)
+	f, err := newFactorization(s, a, resolveNumOpts(s, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestTimeoutCancelsFactorization(t *testing.T) {
 	if s.Graph.NumTasks() <= 8 {
 		t.Skip("graph too small to outlive the deadline")
 	}
-	f, err := newFactorization(s, a)
+	f, err := newFactorization(s, a, resolveNumOpts(s, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestTimeoutCancelsFactorization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cancel, stop := numericCanceler(s.Opts)
+	cancel, stop := numericCanceler(s.Opts.Timeout, s.Opts.Cancel)
 	defer stop()
 	err = sched.ExecuteGlobalCancelable(s.Graph, 8, prio, nil, cancel, inj.Wrap(f.runTask, nil))
 	if !errors.Is(err, ErrDeadlineExceeded) {
@@ -365,7 +365,7 @@ func TestSeededFaultSweep(t *testing.T) {
 			}
 			inj.Set(id, faultinject.Fault{Mode: mode})
 		}
-		f, err := newFactorization(s, a)
+		f, err := newFactorization(s, a, resolveNumOpts(s, nil))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -43,34 +43,42 @@ func (f *Factorization) getWorkspace() *SolveWorkspace {
 // putWorkspace returns a workspace to the pool.
 func (f *Factorization) putWorkspace(ws *SolveWorkspace) { f.solveWS.Put(ws) }
 
-// solveProcs resolves the worker count of the triangular solves:
-// Options.SolveWorkers, defaulting to Options.Workers. Read at solve
-// time, so it can be retuned on the Symbolic between solves.
-func (f *Factorization) solveProcs() int {
-	p := f.S.Opts.SolveWorkers
-	if p == 0 {
-		p = f.S.Opts.Workers
+// solveOpts resolves the per-call state of one solve: worker count,
+// trace recorder and cancellation signal. An explicit override wins
+// (the SolveWith/SolveManyWith paths, one override per request in the
+// solve service); otherwise factorizations created through
+// FactorizeWithOpts use their frozen per-call options, and the legacy
+// path re-reads them from the Symbolic's recorded Options at solve
+// time, so existing callers can retune s.Opts between solves. The
+// returned stop func disarms the deadline timer of this solve.
+func (f *Factorization) solveOpts(override *NumericOptions) (procs int, rec *trace.Recorder, cancel *sched.Canceler, stop func()) {
+	var o NumericOptions
+	if override != nil {
+		o = *override
+	} else {
+		o = f.numOpts()
 	}
-	if p < 1 {
-		p = 1
-	}
-	return p
+	o = o.withDefaults()
+	cancel, stop = numericCanceler(o.Timeout, o.Cancel)
+	return o.SolveWorkers, o.Trace, cancel, stop
 }
 
 // runSweep executes one triangular sweep on its level-set schedule,
 // recording one trace event per block column (KindSolveL/KindSolveU)
-// when the factorization's recorder is present and sized for the
-// solve worker count.
-func (f *Factorization) runSweep(lv *sched.Levels, procs int, kind trace.Kind, step func(k int)) {
-	if rec := f.S.Opts.Trace; rec != nil && rec.Workers() >= procs {
-		sched.ExecuteLevels(lv, procs, func(w, k int) {
+// when the recorder is present and sized for the solve worker count,
+// and polling the canceler once per task claim when one is armed. A
+// canceled sweep returns a *sched.CancelError whose cause is the
+// deadline or external cancellation; the partially swept panel is
+// pooled scratch, never a caller-visible result.
+func (f *Factorization) runSweep(lv *sched.Levels, procs int, rec *trace.Recorder, cancel *sched.Canceler, kind trace.Kind, step func(k int)) error {
+	if rec != nil && rec.Workers() >= procs {
+		return sched.ExecuteLevelsCancelable(lv, procs, cancel, func(w, k int) {
 			start := rec.Now()
 			step(k)
 			rec.Record(w, trace.NoTask, kind, k, start)
 		})
-		return
 	}
-	sched.ExecuteLevels(lv, procs, func(w, k int) { step(k) })
+	return sched.ExecuteLevelsCancelable(lv, procs, cancel, func(w, k int) { step(k) })
 }
 
 // Solve solves A·x = b for the original (unpermuted) matrix the
@@ -83,6 +91,16 @@ func (f *Factorization) runSweep(lv *sched.Levels, procs int, kind trace.Kind, s
 // commute exactly, so the result is bitwise identical to the serial
 // sweeps at every worker count.
 func (f *Factorization) Solve(b []float64) ([]float64, error) {
+	return f.SolveWith(b, nil)
+}
+
+// SolveWith is Solve with an explicit per-call options override: the
+// worker count, deadline, canceler and trace recorder of this one
+// solve come from nopts instead of the factorization's frozen options
+// (nil nopts is plain Solve). It is how a long-lived service binds a
+// request-scoped deadline to a solve against a shared, immutable
+// factorization without mutating it.
+func (f *Factorization) SolveWith(b []float64, nopts *NumericOptions) ([]float64, error) {
 	if len(b) != f.S.N {
 		return nil, fmt.Errorf("core: rhs has length %d, want %d", len(b), f.S.N)
 	}
@@ -101,9 +119,16 @@ func (f *Factorization) Solve(b []float64) ([]float64, error) {
 			y[i] *= f.rscale[i]
 		}
 	}
-	procs := f.solveProcs()
-	f.runSweep(f.S.SolveFwd, procs, trace.KindSolveL, func(k int) { f.fwdStep(k, y) })
-	f.runSweep(f.S.SolveBwd, procs, trace.KindSolveU, func(k int) { f.bwdStep(k, y) })
+	procs, rec, cancel, stop := f.solveOpts(nopts)
+	defer stop()
+	if err := f.runSweep(f.S.SolveFwd, procs, rec, cancel, trace.KindSolveL, func(k int) { f.fwdStep(k, y) }); err != nil {
+		f.putWorkspace(ws)
+		return nil, err
+	}
+	if err := f.runSweep(f.S.SolveBwd, procs, rec, cancel, trace.KindSolveU, func(k int) { f.bwdStep(k, y) }); err != nil {
+		f.putWorkspace(ws)
+		return nil, err
+	}
 	if f.cscale != nil {
 		for i := range y {
 			y[i] *= f.cscale[i]
@@ -195,6 +220,13 @@ func (f *Factorization) bwdStep(k int, y []float64) {
 // identical to the serial panel sweeps at every worker count. The
 // inputs are not modified.
 func (f *Factorization) SolveMany(bs [][]float64) ([][]float64, error) {
+	return f.SolveManyWith(bs, nil)
+}
+
+// SolveManyWith is SolveMany with an explicit per-call options
+// override, the multi-RHS analogue of SolveWith (nil nopts is plain
+// SolveMany).
+func (f *Factorization) SolveManyWith(bs [][]float64, nopts *NumericOptions) ([][]float64, error) {
 	if f.Singular() {
 		return nil, f.singularError()
 	}
@@ -227,9 +259,16 @@ func (f *Factorization) SolveMany(bs [][]float64) ([][]float64, error) {
 		}
 	}
 
-	procs := f.solveProcs()
-	f.runSweep(f.S.SolveFwd, procs, trace.KindSolveL, func(k int) { f.fwdPanelStep(k, y, nrhs) })
-	f.runSweep(f.S.SolveBwd, procs, trace.KindSolveU, func(k int) { f.bwdPanelStep(k, y, nrhs) })
+	procs, rec, cancel, stop := f.solveOpts(nopts)
+	defer stop()
+	if err := f.runSweep(f.S.SolveFwd, procs, rec, cancel, trace.KindSolveL, func(k int) { f.fwdPanelStep(k, y, nrhs) }); err != nil {
+		f.putWorkspace(ws)
+		return nil, err
+	}
+	if err := f.runSweep(f.S.SolveBwd, procs, rec, cancel, trace.KindSolveU, func(k int) { f.bwdPanelStep(k, y, nrhs) }); err != nil {
+		f.putWorkspace(ws)
+		return nil, err
+	}
 
 	// Unpack, unscale, unpermute: one gather pass per right-hand side,
 	// straight from the panel into the result.

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -134,6 +136,116 @@ func (in *Injector) Wrap(run func(id int) error, poison func(id int)) func(id in
 		}
 		return run(id)
 	}
+}
+
+// RequestPlan extends the injector from task ids to a request-serving
+// layer: faults are keyed by the 1-based request sequence number a
+// server assigns as requests arrive, so a chaos test can say "request
+// 3 panics, request 5 is delayed 50ms, request 9 has a NaN poisoned
+// into its input" and drive those faults against a live server purely
+// from the outside (an environment variable), with no test hooks in
+// the request path. Like the task injector, placement is fully
+// deterministic — a failing run is replayable from its spec string.
+//
+// The spec grammar is a comma-separated list of
+//
+//	<seq>:<mode>[=<duration>]
+//
+// with modes panic, error, nan and delay (delay takes the duration):
+//
+//	SLUSERVER_FAULTS="3:panic,5:delay=50ms,9:nan,12:error"
+//
+// Claim is safe for concurrent use: each request claims the next
+// sequence number with one atomic increment.
+type RequestPlan struct {
+	faults map[int64]Fault
+	seq    atomic.Int64
+	fired  atomic.Int64
+}
+
+// ParseRequestPlan parses the spec grammar above. An empty spec returns
+// a nil plan (no faults) — the zero-configuration production default.
+func ParseRequestPlan(spec string) (*RequestPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &RequestPlan{faults: make(map[int64]Fault)}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		seqStr, modeStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: request fault %q: want <seq>:<mode>[=<duration>]", part)
+		}
+		seq, err := strconv.ParseInt(strings.TrimSpace(seqStr), 10, 64)
+		if err != nil || seq < 1 {
+			return nil, fmt.Errorf("faultinject: request fault %q: bad sequence number", part)
+		}
+		modeStr, durStr, hasDur := strings.Cut(strings.TrimSpace(modeStr), "=")
+		var f Fault
+		switch modeStr {
+		case "panic":
+			f.Mode = Panic
+		case "error":
+			f.Mode = Error
+		case "nan":
+			f.Mode = PoisonNaN
+		case "delay":
+			f.Mode = Delay
+			if !hasDur {
+				return nil, fmt.Errorf("faultinject: request fault %q: delay needs =<duration>", part)
+			}
+			d, err := time.ParseDuration(strings.TrimSpace(durStr))
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: request fault %q: %v", part, err)
+			}
+			f.Sleep = d
+		default:
+			return nil, fmt.Errorf("faultinject: request fault %q: unknown mode %q (want panic, error, nan or delay)", part, modeStr)
+		}
+		if f.Mode != Delay && hasDur {
+			return nil, fmt.Errorf("faultinject: request fault %q: only delay takes a duration", part)
+		}
+		p.faults[seq] = f
+	}
+	return p, nil
+}
+
+// Claim assigns the next request sequence number and returns the fault
+// planned for it (Mode None when the request is untouched). A nil plan
+// claims nothing and injects nothing, so servers can call it
+// unconditionally.
+func (p *RequestPlan) Claim() (seq int64, f Fault) {
+	if p == nil {
+		return 0, Fault{}
+	}
+	seq = p.seq.Add(1)
+	f, ok := p.faults[seq]
+	if ok && f.Mode != None {
+		p.fired.Add(1)
+	}
+	return seq, f
+}
+
+// Fired returns how many planned request faults have been claimed so
+// far (a claimed fault is considered fired: the server acts on it
+// unconditionally).
+func (p *RequestPlan) Fired() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.fired.Load())
+}
+
+// Planned returns the number of faults in the plan.
+func (p *RequestPlan) Planned() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.faults)
 }
 
 // PickTasks deterministically selects k distinct task ids from [0, n)

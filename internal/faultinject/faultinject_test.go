@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -131,5 +132,90 @@ func TestPickTasksDeterministic(t *testing.T) {
 	}
 	if got := PickTasks(1, 3, 0); got != nil {
 		t.Fatalf("k=0 gave %v", got)
+	}
+}
+
+// TestRequestPlanParse pins the service-layer spec grammar and the
+// concurrent Claim contract.
+func TestRequestPlanParse(t *testing.T) {
+	p, err := ParseRequestPlan("3:panic, 5:delay=50ms,9:nan,12:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Planned() != 4 {
+		t.Fatalf("Planned = %d, want 4", p.Planned())
+	}
+	want := map[int64]Fault{
+		3:  {Mode: Panic},
+		5:  {Mode: Delay, Sleep: 50 * time.Millisecond},
+		9:  {Mode: PoisonNaN},
+		12: {Mode: Error},
+	}
+	for seq := int64(1); seq <= 14; seq++ {
+		got, f := p.Claim()
+		if got != seq {
+			t.Fatalf("Claim seq = %d, want %d", got, seq)
+		}
+		if f != want[seq] {
+			t.Fatalf("seq %d: fault %+v, want %+v", seq, f, want[seq])
+		}
+	}
+	if p.Fired() != 4 {
+		t.Fatalf("Fired = %d, want 4", p.Fired())
+	}
+
+	// The empty spec is the production default: a nil plan whose Claim
+	// is a no-op.
+	if p, err := ParseRequestPlan("  "); err != nil || p != nil {
+		t.Fatalf("empty spec: plan %v err %v", p, err)
+	}
+	var nilPlan *RequestPlan
+	if seq, f := nilPlan.Claim(); seq != 0 || f.Mode != None {
+		t.Fatalf("nil plan Claim = %d %+v", seq, f)
+	}
+
+	for _, bad := range []string{
+		"x:panic", "0:panic", "3panic", "3:jitter", "3:delay", "3:panic=5ms",
+		"3:delay=xyz",
+	} {
+		if _, err := ParseRequestPlan(bad); err == nil {
+			t.Errorf("spec %q: want parse error", bad)
+		}
+	}
+}
+
+// TestRequestPlanConcurrentClaim drives Claim from many goroutines:
+// every sequence number is handed out exactly once and every planned
+// fault fires exactly once.
+func TestRequestPlanConcurrentClaim(t *testing.T) {
+	p, err := ParseRequestPlan("1:error,17:panic,33:nan,49:delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	seqs := make([]int64, n)
+	faults := make([]Fault, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seqs[g], faults[g] = p.Claim()
+		}(g)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	fired := 0
+	for g := 0; g < n; g++ {
+		if seen[seqs[g]] {
+			t.Fatalf("sequence %d claimed twice", seqs[g])
+		}
+		seen[seqs[g]] = true
+		if faults[g].Mode != None {
+			fired++
+		}
+	}
+	if fired != 4 || p.Fired() != 4 {
+		t.Fatalf("fired %d (plan says %d), want 4", fired, p.Fired())
 	}
 }

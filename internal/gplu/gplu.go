@@ -19,15 +19,18 @@
 package gplu
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/luerr"
 	"repro/internal/sparse"
 )
 
 // ErrSingular is returned when no nonzero pivot exists for some column.
-var ErrSingular = errors.New("gplu: matrix is numerically singular")
+// It also matches luerr.ErrSingular, the cross-solver singularity
+// class, so a caller holding an error from either the static (core) or
+// the dynamic (gplu) solver can triage it with one errors.Is check.
+var ErrSingular = luerr.Tag("gplu: matrix is numerically singular", luerr.ErrSingular)
 
 // SingularError reports the first column without an admissible pivot,
 // in the original (unpermuted) column numbering — the same contract as

@@ -1,0 +1,126 @@
+package luerr_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gplu"
+	"repro/internal/luerr"
+	"repro/internal/sched"
+)
+
+// TestTaxonomyComposition pins the unified error taxonomy: every
+// structured error of the numeric layers must resolve to exactly the
+// right luerr class under errors.Is while keeping its layer-local
+// sentinel and its errors.As identity. The solve service's status
+// mapping is built on these compositions; if one of them breaks, a
+// failure class silently turns into a 500.
+func TestTaxonomyComposition(t *testing.T) {
+	coreSing := error(&core.SingularError{Col: 7})
+	gpluSing := error(&gplu.SingularError{Col: 3})
+	nonFinite := fmt.Errorf("core: panel 4 entry (1,2) is NaN: %w", core.ErrNonFinite)
+	taskNF := error(&sched.TaskError{ID: 9, Task: "U(3,7)", Err: nonFinite})
+	deadline := error(&sched.CancelError{Cause: core.ErrDeadlineExceeded, Completed: 5, Total: 12})
+	canceled := error(&sched.CancelError{Cause: nil})
+	taskCancel := error(&sched.TaskError{ID: 2, Task: "F(2)", Err: deadline})
+
+	cases := []struct {
+		name   string
+		err    error
+		match  []error
+		reject []error
+	}{
+		{
+			name:  "core singular",
+			err:   coreSing,
+			match: []error{core.ErrNumericallySingular, luerr.ErrSingular},
+			// Layer identity is preserved: a core singularity is not a
+			// gplu one, only the shared class unifies them.
+			reject: []error{gplu.ErrSingular, luerr.ErrNonFinite, luerr.ErrDeadline, luerr.ErrCanceled},
+		},
+		{
+			name:   "gplu singular",
+			err:    gpluSing,
+			match:  []error{gplu.ErrSingular, luerr.ErrSingular},
+			reject: []error{core.ErrNumericallySingular, luerr.ErrNonFinite},
+		},
+		{
+			name:   "non-finite through TaskError",
+			err:    taskNF,
+			match:  []error{core.ErrNonFinite, luerr.ErrNonFinite},
+			reject: []error{luerr.ErrSingular, luerr.ErrDeadline, luerr.ErrCanceled},
+		},
+		{
+			name: "deadline through CancelError",
+			err:  deadline,
+			match: []error{
+				sched.ErrCanceled, luerr.ErrCanceled,
+				core.ErrDeadlineExceeded, luerr.ErrDeadline,
+			},
+			reject: []error{luerr.ErrSingular, luerr.ErrNonFinite},
+		},
+		{
+			name:   "bare cancellation",
+			err:    canceled,
+			match:  []error{sched.ErrCanceled, luerr.ErrCanceled},
+			reject: []error{luerr.ErrDeadline},
+		},
+		{
+			name: "deadline cancel through TaskError",
+			err:  taskCancel,
+			match: []error{
+				sched.ErrCanceled, luerr.ErrCanceled,
+				core.ErrDeadlineExceeded, luerr.ErrDeadline,
+			},
+			reject: []error{luerr.ErrSingular},
+		},
+	}
+	for _, tc := range cases {
+		for _, target := range tc.match {
+			if !errors.Is(tc.err, target) {
+				t.Errorf("%s: errors.Is(err, %v) = false, want true", tc.name, target)
+			}
+		}
+		for _, target := range tc.reject {
+			if errors.Is(tc.err, target) {
+				t.Errorf("%s: errors.Is(err, %v) = true, want false", tc.name, target)
+			}
+		}
+	}
+
+	// errors.As keeps the structured identities intact.
+	var cs *core.SingularError
+	if !errors.As(coreSing, &cs) || cs.Col != 7 {
+		t.Errorf("errors.As(core.SingularError) failed: %v", coreSing)
+	}
+	var gs *gplu.SingularError
+	if !errors.As(gpluSing, &gs) || gs.Col != 3 {
+		t.Errorf("errors.As(gplu.SingularError) failed: %v", gpluSing)
+	}
+	var te *sched.TaskError
+	if !errors.As(taskNF, &te) || te.ID != 9 {
+		t.Errorf("errors.As(sched.TaskError) failed: %v", taskNF)
+	}
+	var ce *sched.CancelError
+	if !errors.As(taskCancel, &ce) || ce.Completed != 5 {
+		t.Errorf("errors.As(sched.CancelError) through TaskError failed: %v", taskCancel)
+	}
+}
+
+// TestTaxonomyMessages pins the layer sentinels' messages: the tagging
+// that binds them to their classes must not leak into what users see.
+func TestTaxonomyMessages(t *testing.T) {
+	for _, tc := range []struct{ got, want string }{
+		{core.ErrNumericallySingular.Error(), "core: matrix is numerically singular"},
+		{core.ErrNonFinite.Error(), "core: non-finite value in factorization"},
+		{core.ErrDeadlineExceeded.Error(), "core: factorization deadline exceeded"},
+		{gplu.ErrSingular.Error(), "gplu: matrix is numerically singular"},
+		{sched.ErrCanceled.Error(), "sched: execution canceled"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("sentinel message = %q, want %q", tc.got, tc.want)
+		}
+	}
+}

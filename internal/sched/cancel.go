@@ -1,15 +1,17 @@
 package sched
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/luerr"
 )
 
 // ErrCanceled is the sentinel matched by errors.Is on every execution
-// that was stopped by a Canceler before all tasks completed.
-var ErrCanceled = errors.New("sched: execution canceled")
+// that was stopped by a Canceler before all tasks completed. It also
+// matches luerr.ErrCanceled, the module-wide cancellation class.
+var ErrCanceled = luerr.Tag("sched: execution canceled", luerr.ErrCanceled)
 
 // Canceler is a one-shot, race-free cancellation signal shared between
 // an executor and the outside world (a deadline timer, a caller giving
@@ -109,5 +111,10 @@ func (e *CancelError) Error() string {
 // Unwrap exposes the cancellation cause to errors.Is/As.
 func (e *CancelError) Unwrap() error { return e.Cause }
 
-// Is matches the ErrCanceled sentinel.
-func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
+// Is matches the ErrCanceled sentinel and the module-wide cancellation
+// class, independent of the cause — a deadline-canceled execution is
+// both "canceled" and "deadline exceeded", and the cause chain (Unwrap)
+// resolves the second half.
+func (e *CancelError) Is(target error) bool {
+	return target == ErrCanceled || target == luerr.ErrCanceled
+}

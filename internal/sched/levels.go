@@ -1,6 +1,9 @@
 package sched
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Levels is a precomputed level-set schedule of a dependence DAG:
 // Order lists the task ids level-major and Off bounds the levels, so
@@ -89,6 +92,75 @@ func ExecuteLevels(lv *Levels, procs int, run func(worker, task int)) {
 		}(p)
 	}
 	wg.Wait()
+}
+
+// ExecuteLevelsCancelable is ExecuteLevels under the executors'
+// cancellation contract: every worker polls the canceler once per task
+// claim (a single atomic load, exactly like the numeric engine), and
+// once it trips no further task bodies run — the level barriers still
+// complete, so the workers drain cleanly instead of deadlocking a
+// partially arrived barrier. It returns nil when every task ran and a
+// *CancelError carrying the cancellation cause and the completed-task
+// count otherwise. A nil canceler delegates to ExecuteLevels and can
+// never fail, so the uncancelled hot path stays free of atomics.
+//
+// The triangular solves run on this executor when a deadline or an
+// external canceler bounds the solve phase; a canceled sweep leaves
+// the right-hand-side panel in an unspecified partial state, which is
+// why the solves only ever cancel work on pooled scratch, never on
+// caller-visible results.
+func ExecuteLevelsCancelable(lv *Levels, procs int, cancel *Canceler, run func(worker, task int)) error {
+	if cancel == nil {
+		ExecuteLevels(lv, procs, run)
+		return nil
+	}
+	if procs > lv.NumTasks() {
+		procs = lv.NumTasks()
+	}
+	var completed atomic.Int64
+	if procs <= 1 {
+		for _, id := range lv.Order {
+			if cancel.Canceled() {
+				break
+			}
+			run(0, int(id))
+			completed.Add(1)
+		}
+	} else {
+		nl := lv.NumLevels()
+		bar := newLevelBarrier(procs)
+		var wg sync.WaitGroup
+		wg.Add(procs)
+		for p := 0; p < procs; p++ {
+			go func(p int) {
+				defer wg.Done()
+				for l := 0; l < nl; l++ {
+					lo, hi := int(lv.Off[l]), int(lv.Off[l+1])
+					for i := lo + p; i < hi; i += procs {
+						if cancel.Canceled() {
+							break
+						}
+						run(p, int(lv.Order[i]))
+						completed.Add(1)
+					}
+					bar.await()
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+	// A canceler that trips after the last task body finished has
+	// nothing left to cancel: the sweep is complete and its result is
+	// valid, so the race between a deadline timer and the final task is
+	// resolved in favor of the finished work.
+	if done := int(completed.Load()); done < lv.NumTasks() && cancel.Canceled() {
+		return &CancelError{
+			Cause:     cancel.Cause(),
+			Completed: done,
+			Total:     lv.NumTasks(),
+		}
+	}
+	return nil
 }
 
 // levelBarrier is a reusable generation-counted barrier: the last of

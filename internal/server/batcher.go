@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// errBatcherClosed marks a solve submitted to a draining handle; the
+// transport maps it to 503.
+var errBatcherClosed = errors.New("server: factorization is shutting down")
+
+// solveReq is one single-RHS solve waiting in a batch window.
+type solveReq struct {
+	b    []float64
+	done chan solveDone // buffered 1: the flusher never blocks on a waiter
+}
+
+type solveDone struct {
+	x   []float64
+	err error
+}
+
+// batcher coalesces concurrent single-RHS solves against one
+// factorization into blocked multi-RHS solves on the BLAS-3 panel path
+// (SolveManyWith: Dtrsm/Dgemm instead of nrhs× Dtrsv/Dgemv). A request
+// waits at most window for peers; a batch flushes early the moment it
+// reaches max. Requests that arrive alone still run through the panel
+// path with nrhs=1, which is what makes batching invisible: the panel
+// sweeps are per-RHS bitwise identical at every batch size (pinned by
+// TestBatchedSolveBitwise), so a client cannot tell whether its solve
+// shared a panel.
+type batcher struct {
+	f      *core.Factorization
+	window time.Duration
+	max    int
+	nopts  core.NumericOptions // per-batch solve options (workers, backstop timeout)
+
+	mu      sync.Mutex
+	pending []*solveReq
+	timer   *time.Timer
+	closed  bool
+
+	batches  atomic.Int64
+	rhs      atomic.Int64
+	maxBatch atomic.Int64
+}
+
+func newBatcher(f *core.Factorization, window time.Duration, max int, nopts core.NumericOptions) *batcher {
+	if max < 1 {
+		max = 1
+	}
+	if window <= 0 {
+		window = time.Millisecond
+	}
+	return &batcher{f: f, window: window, max: max, nopts: nopts}
+}
+
+// submit queues b for the next batch and waits for its solution. The
+// caller's context bounds only the wait: an expired waiter abandons
+// its slot (the batch still computes, the result is discarded) and
+// returns the context cause.
+func (bt *batcher) submit(ctx context.Context, b []float64) ([]float64, error) {
+	req := &solveReq{b: b, done: make(chan solveDone, 1)}
+	bt.mu.Lock()
+	if bt.closed {
+		bt.mu.Unlock()
+		return nil, errBatcherClosed
+	}
+	bt.pending = append(bt.pending, req)
+	if len(bt.pending) >= bt.max {
+		batch := bt.takeLocked()
+		bt.mu.Unlock()
+		bt.run(batch)
+	} else {
+		if len(bt.pending) == 1 {
+			bt.timer = time.AfterFunc(bt.window, bt.flush)
+		}
+		bt.mu.Unlock()
+	}
+	select {
+	case d := <-req.done:
+		return d.x, d.err
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}
+
+// takeLocked detaches the pending batch and disarms the window timer.
+// Caller holds mu.
+func (bt *batcher) takeLocked() []*solveReq {
+	batch := bt.pending
+	bt.pending = nil
+	if bt.timer != nil {
+		bt.timer.Stop()
+		bt.timer = nil
+	}
+	return batch
+}
+
+// flush is the window-expiry path (time.AfterFunc callback).
+func (bt *batcher) flush() {
+	bt.mu.Lock()
+	batch := bt.takeLocked()
+	bt.mu.Unlock()
+	bt.run(batch)
+}
+
+// run executes one batch on the panel path and distributes results.
+func (bt *batcher) run(batch []*solveReq) {
+	if len(batch) == 0 {
+		return
+	}
+	bt.batches.Add(1)
+	bt.rhs.Add(int64(len(batch)))
+	for {
+		cur := bt.maxBatch.Load()
+		if int64(len(batch)) <= cur || bt.maxBatch.CompareAndSwap(cur, int64(len(batch))) {
+			break
+		}
+	}
+	bs := make([][]float64, len(batch))
+	for i, req := range batch {
+		bs[i] = req.b
+	}
+	nopts := bt.nopts
+	xs, err := bt.f.SolveManyWith(bs, &nopts)
+	for i, req := range batch {
+		if err != nil {
+			req.done <- solveDone{err: err}
+			continue
+		}
+		req.done <- solveDone{x: xs[i]}
+	}
+}
+
+// close drains the batcher: pending requests are flushed as one final
+// batch, later submissions are refused. Called on handle eviction and
+// on server shutdown.
+func (bt *batcher) close() {
+	bt.mu.Lock()
+	if bt.closed {
+		bt.mu.Unlock()
+		return
+	}
+	bt.closed = true
+	batch := bt.takeLocked()
+	bt.mu.Unlock()
+	bt.run(batch)
+}
+
+// batcherSnapshot is the wire form of the (server-wide, summed)
+// batcher counters.
+type batcherSnapshot struct {
+	Batches  int64 `json:"batches"`
+	RHS      int64 `json:"batched_rhs"`
+	MaxBatch int64 `json:"max_batch"`
+}

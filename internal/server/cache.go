@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// patternKey fingerprints the sparsity pattern of a matrix together
+// with the analysis-shaping options: two matrices with equal keys have
+// identical CSC structure and would produce identical Symbolic
+// objects, so the analysis of one serves the other. Values are
+// deliberately excluded — that is the whole point of the paper's
+// static pipeline: one symbolic factorization amortized over many
+// numeric factorizations of the same pattern.
+func patternKey(m *sparse.CSC, opts *core.Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(m.NRows)
+	put(m.NCols)
+	for _, p := range m.ColPtr {
+		put(p)
+	}
+	for _, r := range m.RowInd {
+		put(r)
+	}
+	// The analysis-shaping knobs are part of the identity of a
+	// Symbolic; the per-call numeric fields are not.
+	fmt.Fprintf(h, "|%v|%v|%v|%+v", opts.Ordering, opts.Postorder, opts.TaskGraph, opts.Amalgamation)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// symBytes is a coarse retained-size estimate of a Symbolic, used only
+// for the memory-budget admission check — it needs to be monotone in
+// problem size, not exact.
+func symBytes(s *core.Symbolic) int64 {
+	st := s.Stats
+	return int64(st.NNZFactors)*16 + int64(st.N)*96 + int64(st.TaskCount+st.EdgeCount)*16
+}
+
+// cacheEntry is one cached analysis. ready is closed when sym/err are
+// final, so concurrent requests for the same pattern coalesce onto a
+// single Analyze call instead of racing N of them.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	sym   *core.Symbolic
+	err   error
+	bytes int64
+}
+
+// symCache is a bounded LRU of immutable Symbolic objects keyed by
+// pattern hash. Entries are shared by reference: a Symbolic is
+// analysis-immutable (nothing in the numeric or solve path writes to
+// it — pinned by TestSymbolicReuseConcurrent), so handing the same
+// pointer to many concurrent factorizations is safe and is exactly the
+// reuse the paper's static approach is built around.
+type symCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	order   []string // LRU order, least recent first
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	analyzes  atomic.Int64 // actual core.Analyze invocations (hits provably skip it)
+	evictions atomic.Int64
+	bytes     atomic.Int64
+}
+
+func newSymCache(capacity int) *symCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &symCache{cap: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+// touch moves key to the most-recent end of the LRU order. Caller
+// holds mu.
+func (c *symCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
+	}
+	c.order = append(c.order, key)
+}
+
+// getOrAnalyze returns the Symbolic for key, running analyze exactly
+// once per resident pattern: the first requester computes, concurrent
+// requesters for the same key wait on the entry, later requesters hit.
+// The hit return is true only when the entry was already resident
+// (the analyze callback provably did not run for this request).
+func (c *symCache) getOrAnalyze(ctx context.Context, key string, analyze func() (*core.Symbolic, error)) (sym *core.Symbolic, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.touch(key)
+		c.hits.Add(1)
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, false, context.Cause(ctx)
+		}
+		return e.sym, true, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.touch(key)
+	c.misses.Add(1)
+	// Evict least-recently-used resident entries over capacity. A
+	// pending entry can be evicted too: its waiters hold the pointer,
+	// only the map slot is reclaimed.
+	for len(c.entries) > c.cap && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if v, ok := c.entries[victim]; ok {
+			delete(c.entries, victim)
+			c.evictions.Add(1)
+			c.bytes.Add(-v.bytes)
+		}
+	}
+	c.mu.Unlock()
+
+	c.analyzes.Add(1)
+	e.sym, e.err = analyze()
+	if e.sym != nil {
+		e.bytes = symBytes(e.sym)
+		c.bytes.Add(e.bytes)
+	}
+	close(e.ready)
+	if e.err != nil {
+		// Failed analyses are not cached: the next request with this
+		// pattern retries instead of replaying a stale error.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			for i, k := range c.order {
+				if k == key {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+	return e.sym, false, e.err
+}
+
+// cacheSnapshot is the wire form of the cache counters.
+type cacheSnapshot struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Analyzes  int64 `json:"analyzes"`
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"approx_bytes"`
+}
+
+func (c *symCache) snapshot() cacheSnapshot {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return cacheSnapshot{
+		Entries:   n,
+		Capacity:  c.cap,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Analyzes:  c.analyzes.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+	}
+}

@@ -1,0 +1,567 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/matgen"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// toMatrixJSON converts a CSC to the wire triplet form.
+func toMatrixJSON(m *sparse.CSC) matrixJSON {
+	mj := matrixJSON{N: m.NCols}
+	for j := 0; j < m.NCols; j++ {
+		rows, vals := m.Col(j)
+		for k, i := range rows {
+			mj.Rows = append(mj.Rows, i)
+			mj.Cols = append(mj.Cols, j)
+			mj.Vals = append(mj.Vals, vals[k])
+		}
+	}
+	return mj
+}
+
+// testMatrix builds a small diagonally dominant 2D operator.
+func testMatrix() *sparse.CSC { return matgen.Sherman5() }
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// post sends a JSON request and decodes the response into out (which
+// may be nil). It returns the status code and raw body.
+func post(t *testing.T, ts *httptest.Server, path string, req, out any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("unmarshal %s: %v (body %s)", path, err, buf.String())
+		}
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func factorizeOK(t *testing.T, ts *httptest.Server, m *sparse.CSC, policy string) factorizeResponse {
+	t.Helper()
+	var resp factorizeResponse
+	status, body := post(t, ts, "/v1/factorize", factorizeRequest{Matrix: toMatrixJSON(m), Policy: policy}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("factorize: status %d, body %s", status, body)
+	}
+	return resp
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	m := testMatrix()
+	fr := factorizeOK(t, ts, m, "")
+	if fr.Rung != "fail" || fr.Refine || fr.Perturbations != 0 {
+		t.Errorf("healthy matrix should win the strict rung: %+v", fr)
+	}
+	n := m.NCols
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	var sr solveResponse
+	status, body := post(t, ts, "/v1/solve", solveRequest{FID: fr.FID, B: b}, &sr)
+	if status != http.StatusOK {
+		t.Fatalf("solve: status %d, body %s", status, body)
+	}
+	if len(sr.X) != n {
+		t.Fatalf("solution length %d, want %d", len(sr.X), n)
+	}
+	if sr.Residual > 1e-12 {
+		t.Errorf("residual %g too large for a healthy system", sr.Residual)
+	}
+	// Multi-RHS path.
+	var mr solveResponse
+	status, body = post(t, ts, "/v1/solve", solveRequest{FID: fr.FID, BS: [][]float64{b, b}}, &mr)
+	if status != http.StatusOK {
+		t.Fatalf("multi solve: status %d, body %s", status, body)
+	}
+	if len(mr.XS) != 2 || len(mr.Residuals) != 2 {
+		t.Fatalf("multi solve shape: %d xs, %d residuals", len(mr.XS), len(mr.Residuals))
+	}
+	for i := range mr.XS[0] {
+		if mr.XS[0][i] != sr.X[i] {
+			t.Fatalf("multi-RHS x[%d] = %x differs from single-RHS %x", i, mr.XS[0][i], sr.X[i])
+		}
+	}
+}
+
+// TestCacheHitSkipsAnalyze pins the symbolic cache contract: repeated
+// factorizations of the same sparsity pattern (different values!) run
+// core.Analyze exactly once — the hit path provably skips it, counted
+// by the cache's analyzes counter.
+func TestCacheHitSkipsAnalyze(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	m := testMatrix()
+
+	fr1 := factorizeOK(t, ts, m, "")
+	if fr1.SymbolicCached {
+		t.Error("first factorize reported a cache hit")
+	}
+	// Same pattern, scaled values: must hit.
+	mj := toMatrixJSON(m)
+	for i := range mj.Vals {
+		mj.Vals[i] *= 3
+	}
+	var fr2 factorizeResponse
+	status, body := post(t, ts, "/v1/factorize", factorizeRequest{Matrix: mj}, &fr2)
+	if status != http.StatusOK {
+		t.Fatalf("second factorize: status %d, body %s", status, body)
+	}
+	if !fr2.SymbolicCached {
+		t.Error("second factorize of the same pattern missed the cache")
+	}
+	if fr2.Key != fr1.Key {
+		t.Errorf("same pattern produced different keys %q, %q", fr1.Key, fr2.Key)
+	}
+	if got := s.cache.analyzes.Load(); got != 1 {
+		t.Errorf("core.Analyze ran %d times, want exactly 1", got)
+	}
+	if got := s.cache.hits.Load(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+}
+
+// TestBatchedSolveBitwise pins the batcher's invisibility: the same
+// right-hand sides solved one at a time (no concurrency, every batch
+// has size 1) and solved under heavy concurrency (batches form up to
+// BatchMax) produce bitwise identical solutions.
+func TestBatchedSolveBitwise(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, BatchWindow: 5 * time.Millisecond, BatchMax: 8, MaxInFlight: 32, MaxQueue: 64})
+	m := testMatrix()
+	fr := factorizeOK(t, ts, m, "")
+	n := m.NCols
+
+	const nrhs = 32
+	rhs := make([][]float64, nrhs)
+	for r := range rhs {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64((i+3*r)%11) - 5
+		}
+		rhs[r] = b
+	}
+
+	// Serial pass: one request at a time, each its own batch of 1.
+	serial := make([][]float64, nrhs)
+	for r, b := range rhs {
+		var sr solveResponse
+		status, body := post(t, ts, "/v1/solve", solveRequest{FID: fr.FID, B: b}, &sr)
+		if status != http.StatusOK {
+			t.Fatalf("serial solve %d: status %d, body %s", r, status, body)
+		}
+		serial[r] = sr.X
+	}
+
+	// Concurrent pass: the window coalesces these into real batches.
+	concurrent := make([][]float64, nrhs)
+	var wg sync.WaitGroup
+	errc := make(chan error, nrhs)
+	for r, b := range rhs {
+		wg.Add(1)
+		go func(r int, b []float64) {
+			defer wg.Done()
+			var sr solveResponse
+			status, body := post(t, ts, "/v1/solve", solveRequest{FID: fr.FID, B: b}, &sr)
+			if status != http.StatusOK {
+				errc <- fmt.Errorf("concurrent solve %d: status %d, body %s", r, status, body)
+				return
+			}
+			concurrent[r] = sr.X
+		}(r, b)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	for r := range rhs {
+		for i := range serial[r] {
+			if serial[r][i] != concurrent[r][i] {
+				t.Fatalf("rhs %d: batched x[%d] = %x, solo %x", r, i, concurrent[r][i], serial[r][i])
+			}
+		}
+	}
+
+	var bt batcherSnapshot
+	s.mu.Lock()
+	for _, h := range s.store {
+		bt.Batches += h.bt.batches.Load()
+		bt.RHS += h.bt.rhs.Load()
+		if mb := h.bt.maxBatch.Load(); mb > bt.MaxBatch {
+			bt.MaxBatch = mb
+		}
+	}
+	s.mu.Unlock()
+	if bt.RHS != 2*nrhs {
+		t.Errorf("batcher saw %d right-hand sides, want %d", bt.RHS, 2*nrhs)
+	}
+	if bt.MaxBatch < 2 {
+		t.Errorf("no batching happened under concurrency (max batch %d)", bt.MaxBatch)
+	}
+}
+
+// TestRecoveryLadder drives the graceful-degradation path end to end:
+// a numerically near-singular (but structurally healthy) system fails
+// the strict rung, wins the perturbed rung, and refined solves on a
+// consistent right-hand side still meet the advertised residual bound.
+func TestRecoveryLadder(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	m, _, _ := matgen.NearSingular(12, 9, 42)
+
+	// Strict policy: hard 422 with the failed rung attached.
+	status, body := post(t, ts, "/v1/factorize", factorizeRequest{Matrix: toMatrixJSON(m), Policy: "fail"}, nil)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("policy=fail on near-singular: status %d, body %s", status, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("unmarshal error body: %v", err)
+	}
+	if er.Code != "singular" || len(er.Rungs) != 1 || er.Rungs[0].OK {
+		t.Errorf("want singular error with one failed rung, got %+v", er)
+	}
+
+	// Ladder policy: degrade gracefully and say so.
+	fr := factorizeOK(t, ts, m, "ladder")
+	if fr.Rung != "perturb" || !fr.Refine || fr.Perturbations == 0 {
+		t.Fatalf("ladder should win the perturb rung with perturbations: %+v", fr)
+	}
+	if len(fr.Rungs) != 2 || fr.Rungs[0].OK || !fr.Rungs[1].OK {
+		t.Fatalf("rung reports wrong: %+v", fr.Rungs)
+	}
+
+	// Consistent right-hand side: b = A·1.
+	n := m.NCols
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, n)
+	m.MulVec(ones, b)
+	var sr solveResponse
+	status, body = post(t, ts, "/v1/solve", solveRequest{FID: fr.FID, B: b}, &sr)
+	if status != http.StatusOK {
+		t.Fatalf("refined solve: status %d, body %s", status, body)
+	}
+	if sr.Residual > 1e-10 {
+		t.Errorf("refined residual %g exceeds the 1e-10 bound", sr.Residual)
+	}
+	if sr.Rung != "perturb" {
+		t.Errorf("solve reported rung %q, want perturb", sr.Rung)
+	}
+}
+
+// TestStatusMapping pins the documented error-code table at both the
+// transport level and the mapError unit level.
+func TestStatusMapping(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	// 400: malformed body.
+	resp, err := ts.Client().Post(ts.URL+"/v1/factorize", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	// 400: out-of-range index.
+	status, _ := post(t, ts, "/v1/factorize", factorizeRequest{Matrix: matrixJSON{N: 2, Rows: []int{5}, Cols: []int{0}, Vals: []float64{1}}}, nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("out-of-range entry: status %d, want 400", status)
+	}
+	// 404: unknown factorization.
+	status, _ = post(t, ts, "/v1/solve", solveRequest{FID: "f999", B: []float64{1}}, nil)
+	if status != http.StatusNotFound {
+		t.Errorf("unknown fid: status %d, want 404", status)
+	}
+	// 504: a deadline far too small for a real factorization.
+	status, body := post(t, ts, "/v1/factorize", factorizeRequest{Matrix: toMatrixJSON(matgen.Goodwin()), TimeoutMS: 1}, nil)
+	if status != http.StatusGatewayTimeout {
+		t.Errorf("1ms factorize: status %d, want 504 (body %s)", status, body)
+	}
+
+	// The mapping itself, one error per class.
+	for _, tc := range []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{&core.SingularError{Col: 1}, 422, "singular"},
+		{fmt.Errorf("x: %w", core.ErrNonFinite), 422, "non_finite"},
+		{&sched.CancelError{Cause: core.ErrDeadlineExceeded}, 504, "deadline"},
+		{&sched.CancelError{}, 499, "canceled"},
+		{context.DeadlineExceeded, 504, "deadline"},
+		{context.Canceled, 499, "canceled"},
+		{errShed, 429, "shed"},
+		{errBatcherClosed, 503, "draining"},
+		{errors.New("boom"), 500, "internal"},
+	} {
+		he := s.mapError(tc.err)
+		if he.status != tc.status || he.code != tc.code {
+			t.Errorf("mapError(%v) = %d/%s, want %d/%s", tc.err, he.status, he.code, tc.status, tc.code)
+		}
+	}
+	if he := s.mapError(errShed); he.retryAfter < 1 || he.retryAfter > 5 {
+		t.Errorf("shed retry-after %d outside [1,5]", he.retryAfter)
+	}
+}
+
+// TestAdmissionSheds verifies load shedding: with one compute slot and
+// a tiny queue, a burst of requests gets 429s with Retry-After while
+// at least one request is served.
+func TestAdmissionSheds(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxInFlight: 1, MaxQueue: 1, BatchWindow: time.Millisecond})
+	m := testMatrix()
+	fr := factorizeOK(t, ts, m, "")
+	b := make([]float64, m.NCols)
+	for i := range b {
+		b[i] = 1
+	}
+
+	const burst = 16
+	var ok, shed, other int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// One slow request (Goodwin factorize) occupies the slot...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, ts, "/v1/factorize", factorizeRequest{Matrix: toMatrixJSON(matgen.Goodwin())}, nil)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	// ...and the burst overflows the queue.
+	for r := 0; r < burst; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(solveRequest{FID: fr.FID, B: b})
+			resp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok++
+			case http.StatusTooManyRequests:
+				shed++
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After header")
+				}
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Errorf("burst of %d against 1 slot shed nothing (ok=%d other=%d)", burst, ok, other)
+	}
+	if other != 0 {
+		t.Errorf("unexpected status codes in burst: %d", other)
+	}
+}
+
+// TestDrain pins shutdown behavior: after Close, liveness stays green,
+// readiness and the compute endpoints answer 503.
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: %d, want 200", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: %d, want 503", resp.StatusCode)
+	}
+	status, _ := post(t, ts, "/v1/analyze", analyzeRequest{Matrix: matrixJSON{N: 1, Rows: []int{0}, Cols: []int{0}, Vals: []float64{1}}}, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("analyze during drain: %d, want 503", status)
+	}
+}
+
+// TestChaos is the acceptance stress of the issue: ≥32 concurrent
+// requests against a server with deterministic injected faults
+// (panics, input poisoning, delays) and a near-singular workload. The
+// server must answer every request with a documented status code, keep
+// serving afterwards, and leak no goroutines. Run under -race in CI.
+func TestChaos(t *testing.T) {
+	plan, err := faultinject.ParseRequestPlan("3:panic,7:nan,11:delay=30ms,19:panic,23:nan,29:delay=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{
+		Workers: 2, MaxInFlight: 8, MaxQueue: 64,
+		BatchWindow: 2 * time.Millisecond, BatchMax: 8,
+		Faults: plan, Seed: 7,
+	})
+
+	healthy := testMatrix()
+	nearSing, _, _ := matgen.NearSingular(12, 9, 42)
+	frHealthy := factorizeOK(t, ts, healthy, "")
+	frSing := factorizeOK(t, ts, nearSing, "ladder")
+
+	nh := healthy.NCols
+	bh := make([]float64, nh)
+	for i := range bh {
+		bh[i] = float64(i%3) - 1
+	}
+	ones := make([]float64, nearSing.NCols)
+	for i := range ones {
+		ones[i] = 1
+	}
+	bs := make([]float64, nearSing.NCols)
+	nearSing.MulVec(ones, bs)
+
+	baseline := runtime.NumGoroutine()
+
+	const concurrency = 40
+	allowed := map[int]bool{200: true, 422: true, 429: true, 500: true, 504: true}
+	counts := make(map[int]int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < concurrency; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var status int
+			var body []byte
+			switch r % 4 {
+			case 0:
+				status, body = post(t, ts, "/v1/solve", solveRequest{FID: frHealthy.FID, B: bh}, nil)
+			case 1:
+				status, body = post(t, ts, "/v1/solve", solveRequest{FID: frSing.FID, B: bs}, nil)
+			case 2:
+				status, body = post(t, ts, "/v1/analyze", analyzeRequest{Matrix: toMatrixJSON(healthy)}, nil)
+			case 3:
+				status, body = post(t, ts, "/v1/factorize", factorizeRequest{Matrix: toMatrixJSON(nearSing), Policy: "ladder"}, nil)
+			}
+			mu.Lock()
+			counts[status]++
+			mu.Unlock()
+			if !allowed[status] {
+				t.Errorf("request %d: unexpected status %d (body %s)", r, status, body)
+			}
+			// Near-singular refined solves that succeed must meet the bound.
+			if r%4 == 1 && status == 200 {
+				var sr solveResponse
+				if err := json.Unmarshal(body, &sr); err == nil && sr.Residual > 1e-10 {
+					t.Errorf("request %d: ladder residual %g exceeds 1e-10", r, sr.Residual)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if got := plan.Fired(); got != plan.Planned() {
+		t.Errorf("fault plan fired %d of %d faults", got, plan.Planned())
+	}
+	if got := s.met.panics.Load(); got != 2 {
+		t.Errorf("recovered panics = %d, want 2", got)
+	}
+	if counts[500] < 2 {
+		t.Errorf("want ≥2 injected 500s, got %d (counts %v)", counts[500], counts)
+	}
+	if counts[200] == 0 {
+		t.Error("chaos run produced no successful requests")
+	}
+
+	// The server must still be fully functional.
+	var sr solveResponse
+	status, body := post(t, ts, "/v1/solve", solveRequest{FID: frHealthy.FID, B: bh}, &sr)
+	if status != http.StatusOK {
+		t.Fatalf("post-chaos solve: status %d, body %s", status, body)
+	}
+	if sr.Residual > 1e-12 {
+		t.Errorf("post-chaos residual %g", sr.Residual)
+	}
+
+	// No goroutine leaks: the transport keeps idle conns briefly, so
+	// close them and poll.
+	ts.Client().CloseIdleConnections()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+4 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline+4 {
+		t.Errorf("goroutines %d, baseline %d: leak suspected", got, baseline)
+	}
+}
+
+// TestPatternKey pins that the cache key depends on structure, not
+// values.
+func TestPatternKey(t *testing.T) {
+	m := testMatrix()
+	opts := core.DefaultOptions()
+	k1 := patternKey(m, opts)
+	scaled := toMatrixJSON(m)
+	for i := range scaled.Vals {
+		scaled.Vals[i] *= 2
+	}
+	m2, he := parseMatrix(&scaled, faultinject.Fault{})
+	if he != nil {
+		t.Fatal(he)
+	}
+	if k2 := patternKey(m2, opts); k2 != k1 {
+		t.Errorf("same pattern, different keys: %q vs %q", k1, k2)
+	}
+	other, _, _ := matgen.NearSingular(8, 8, 1)
+	if k3 := patternKey(other, opts); k3 == k1 {
+		t.Error("different patterns share a key")
+	}
+}
