@@ -108,8 +108,16 @@ service_stage() {
 	case "$out" in *'"code":"non_finite"'*) ;; *) smoke_fail "poisoned solve: $out" ;; esac
 	out=$(curl -s "http://$smoke_addr/v1/solve" -d '{"fid":"f1","b":[5,3]}')
 	case "$out" in *'"x":[1,1]'*) ;; *) smoke_fail "post-fault solve: $out" ;; esac
+	# 5: re-factorize the same pattern with scaled values: the symbolic
+	# cache must hit (one analysis serves both factorizations).
+	out=$(curl -s "http://$smoke_addr/v1/factorize" \
+		-d '{"matrix":{"n":2,"rows":[0,1,0],"cols":[0,1,1],"vals":[8,6,2]}}')
+	case "$out" in *'"symbolic_cached":true'*) ;; *) smoke_fail "cached factorize: $out" ;; esac
 	out=$(curl -s "http://$smoke_addr/metrics")
 	case "$out" in *'"faults_injected":1'*) ;; *) smoke_fail "metrics: $out" ;; esac
+	case "$out" in *'"hits":1'*) ;; *) smoke_fail "metrics cache hits: $out" ;; esac
+	case "$out" in *'"reanalyzes":'*) ;; *) smoke_fail "metrics missing reanalyzes: $out" ;; esac
+	case "$out" in *'"analyze_seconds":'*) ;; *) smoke_fail "metrics missing analyze_seconds: $out" ;; esac
 
 	kill -TERM "$smoke_pid"
 	wait "$smoke_pid" || smoke_fail "daemon did not drain cleanly"

@@ -30,6 +30,7 @@ var fixtureDirs = map[string]string{
 	"repro/fixture/mutlevels":  "mutlevels",
 	"repro/fixture/mutdescend": "mutdescend",
 	"repro/fixture/mutcapture": "mutcapture",
+	"repro/fixture/workfix":    "workfix",
 }
 
 var load = struct {
@@ -379,5 +380,67 @@ func TestRequestCtxFixture(t *testing.T) {
 		if f.rule == "request-ctx" {
 			t.Errorf("request-ctx fired outside the service scope: %s", f)
 		}
+	}
+}
+
+// TestParallelAnalyzeWorkerFixture pins the workers-set extension to
+// the parallel-analyze pools: a package shaped like the subtree fan-out
+// of internal/symbolic / internal/core, but with function-literal
+// goroutine bodies that allocate per task and write shared state
+// outside the lock, must produce exactly the hot-alloc and
+// lock-discipline findings on its `want` lines — and nothing else (the
+// locked error publication is the sanctioned pattern). The real
+// scoping of internal/symbolic and internal/core is covered by
+// TestRepoClean keeping the repository itself at zero findings.
+func TestParallelAnalyzeWorkerFixture(t *testing.T) {
+	pkgs, fset, mod := loadOnce(t)
+	const workPath = "repro/fixture/workfix"
+	var pi *pkgInfo
+	for _, p := range pkgs {
+		if p.path == workPath {
+			pi = p
+		}
+	}
+	if pi == nil {
+		t.Fatal("workfix fixture not loaded")
+	}
+
+	cfg := defaultConfig(mod)
+	if !cfg.workers[mod+"/internal/symbolic"] || !cfg.workers[mod+"/internal/core"] {
+		t.Fatal("internal/symbolic and internal/core must be in the workers set")
+	}
+	cfg.workers[workPath] = true
+
+	gotLines := map[int]string{}
+	for _, f := range analyzePkg(fset, pi, cfg) {
+		if f.rule != "hot-alloc" && f.rule != "lock-discipline" {
+			t.Errorf("unexpected rule in workfix: %s", f)
+			continue
+		}
+		gotLines[f.pos.Line] = f.rule
+	}
+
+	data, err := os.ReadFile(filepath.Join("testdata", "src", "workfix", "workfix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	markers := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, "// want ")
+		if idx < 0 {
+			continue
+		}
+		markers++
+		rule := strings.TrimSpace(line[idx+len("// want "):])
+		if gotLines[i+1] != rule {
+			t.Errorf("line %d: want rule %s, got %q", i+1, rule, gotLines[i+1])
+		}
+		delete(gotLines, i+1)
+	}
+	if markers != 3 {
+		t.Fatalf("fixture has %d want markers, expected 3", markers)
+	}
+	for line, rule := range gotLines {
+		t.Errorf("finding %s at line %d has no `want` marker", rule, line)
 	}
 }

@@ -148,6 +148,11 @@ func defaultConfig(modPath string) *config {
 		},
 		workers: map[string]bool{
 			p("internal/sched"): true,
+			// The parallel-analyze subtree pools: goroutine bodies in
+			// the symbolic engine and the analysis-overlap stages get
+			// the same hygiene contract as the numeric executors.
+			p("internal/symbolic"): true,
+			p("internal/core"):     true,
 		},
 		hotpath: map[string]bool{
 			p("internal/blas"): true,
@@ -673,7 +678,7 @@ func (p *pass) spinLoop(f *ast.File) {
 		if !ok || loop.Init != nil || loop.Post != nil {
 			return true
 		}
-		if !spinPolls(loop) || spinBacksOff(loop.Body) {
+		if !spinPolls(loop) || spinBacksOff(loop.Body) || spinIsCASRetry(loop.Body) {
 			return true
 		}
 		p.report(loop.Pos(), "spin-loop",
@@ -725,6 +730,32 @@ func spinPolls(loop *ast.ForStmt) bool {
 		check(loop.Cond)
 	}
 	return found
+}
+
+// spinIsCASRetry reports whether the loop is a lock-free compare-and-
+// swap retry: its body calls CompareAndSwap* and contains a return or
+// break, so each round either publishes and exits or re-reads a value
+// another goroutine just advanced. Such loops are bounded by the
+// lock-free progress guarantee (a failed CAS means someone else
+// succeeded), not by polling cadence, and need no backoff.
+func spinIsCASRetry(body *ast.BlockStmt) bool {
+	cas, exits := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if strings.HasPrefix(spinCallName(n), "CompareAndSwap") {
+				cas = true
+			}
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				exits = true
+			}
+		}
+		return true
+	})
+	return cas && exits
 }
 
 // spinBacksOff reports whether the loop body blocks or yields between

@@ -30,6 +30,7 @@ func main() {
 		gen        = flag.String("gen", "", "generate a benchmark matrix (sherman3, sherman5, lnsp3937, lns3937, orsreg1, saylr4, goodwin)")
 		workers    = flag.Int("workers", 1, "parallel workers for the numeric phase")
 		solveWork  = flag.Int("solveworkers", 0, "parallel workers for the triangular solves (0 inherits -workers)")
+		anaWork    = flag.Int("analyzeworkers", 0, "parallel workers for the analysis pipeline (<2 keeps it serial; output is identical at every count)")
 		postorder  = flag.Bool("postorder", true, "postorder the LU elimination forest")
 		taskGraph  = flag.String("taskgraph", "eforest", "task dependence graph: eforest or sstar")
 		ordFlag    = flag.String("ordering", "mindeg", "fill-reducing ordering: mindeg, natural or rcm")
@@ -53,6 +54,7 @@ func main() {
 	opts := sparselu.DefaultOptions()
 	opts.Workers = *workers
 	opts.SolveWorkers = *solveWork
+	opts.AnalyzeWorkers = *anaWork
 	opts.Postorder = *postorder
 	opts.MaxSupernode = *maxSN
 	opts.Equilibrate = *equil
@@ -98,20 +100,26 @@ func main() {
 
 	fmt.Printf("matrix %s: order %d, nnz %d\n", name, m.Order(), m.NNZ())
 
-	t0 := time.Now()
 	analysis, err := sparselu.Analyze(m, opts)
 	if err != nil {
 		fatalf("analysis: %v", err)
 	}
-	tAnalyze := time.Since(t0)
 	st := analysis.Stats()
-	fmt.Printf("analysis (%v):\n", tAnalyze.Round(time.Millisecond))
+	tAnalyze := time.Duration(st.AnalyzeSeconds * float64(time.Second))
+	fmt.Printf("analysis (%v, %d workers):\n", tAnalyze.Round(time.Millisecond), max(*anaWork, 1))
+	if stages := analysis.Symbolic().StageSeconds; len(stages) > 0 {
+		// Per-stage breakdown is recorded only when tracing is on.
+		for _, sg := range stages {
+			fmt.Printf("  stage %-28s %v\n", sg.Name,
+				time.Duration(sg.Seconds*float64(time.Second)).Round(time.Microsecond))
+		}
+	}
 	fmt.Printf("  |Abar| = %d (fill ratio %.1f)\n", st.FactorNNZ, st.FillRatio)
 	fmt.Printf("  supernodes = %d (strict %d), diagonal blocks = %d\n", st.Supernodes, st.StrictSupernodes, st.DiagonalBlocks)
 	fmt.Printf("  tasks = %d, edges = %d, est. flops = %.3g, critical path = %.3g flops\n",
 		st.Tasks, st.Edges, st.TotalFlops, st.CriticalPathFlops)
 
-	t0 = time.Now()
+	t0 := time.Now()
 	f, err := analysis.Factorize(m)
 	if err != nil {
 		fatalf("factorization: %v", err)

@@ -99,6 +99,13 @@ type Options struct {
 	// after warm-up, solves allocate nothing beyond their result
 	// slices, and concurrent solves on one factorization are safe.
 	SolveWorkers int
+	// AnalyzeWorkers is the number of parallel workers for the analysis
+	// pipeline itself: independent column-etree subtrees of the static
+	// symbolic factorization run concurrently and independent late
+	// stages of the analysis overlap. Values below 2 keep the fully
+	// serial pipeline. The analysis output is identical at every worker
+	// count; Workers and SolveWorkers are unaffected.
+	AnalyzeWorkers int
 	// MaxSupernode caps the supernode width during amalgamation
 	// (0 means 32).
 	MaxSupernode int
@@ -158,11 +165,12 @@ func (o *Options) toCore() *core.Options {
 		tg = taskgraph.SStar
 	}
 	return &core.Options{
-		Ordering:     ord,
-		Postorder:    o.Postorder,
-		TaskGraph:    tg,
-		Workers:      o.Workers,
-		SolveWorkers: o.SolveWorkers,
+		Ordering:       ord,
+		Postorder:      o.Postorder,
+		TaskGraph:      tg,
+		Workers:        o.Workers,
+		SolveWorkers:   o.SolveWorkers,
+		AnalyzeWorkers: o.AnalyzeWorkers,
 		Amalgamation: supernode.AmalgamationOptions{
 			MaxSize: o.MaxSupernode,
 			MaxFill: o.AmalgamationFill,
@@ -199,6 +207,10 @@ type Stats struct {
 	// TotalFlops estimates the numeric work; CriticalPathFlops the
 	// weighted critical path of the task graph.
 	TotalFlops, CriticalPathFlops float64
+	// AnalyzeSeconds is the wall-clock duration of the analysis that
+	// produced these stats. It is the only non-structural field: two
+	// analyses of the same pattern agree on everything else.
+	AnalyzeSeconds float64
 }
 
 // Analysis is the reusable structural phase: it depends only on the
@@ -232,7 +244,38 @@ func (a *Analysis) Stats() Stats {
 		Edges:             st.EdgeCount,
 		TotalFlops:        st.TotalFlops,
 		CriticalPathFlops: st.CriticalPath,
+		AnalyzeSeconds:    st.AnalyzeSeconds,
 	}
+}
+
+// ReuseLevel reports how much of a previous analysis Reanalyze reused:
+// "full" (identical pattern, previous analysis returned as-is), "delta"
+// (only the changed column-etree subtrees were re-eliminated), or
+// "none" (full re-analysis).
+type ReuseLevel = core.ReuseLevel
+
+// Reanalysis levels, from cheapest to most expensive.
+const (
+	ReuseFull  = core.ReuseFull
+	ReuseDelta = core.ReuseDelta
+	ReuseNone  = core.ReuseNone
+)
+
+// Reanalyze produces the analysis of m using this Analysis as a
+// starting point. An identical pattern returns the receiver itself; a
+// small pattern delta re-runs the static symbolic factorization only
+// on the affected column-etree subtrees; anything larger falls back to
+// a full Analyze with the receiver's options. The result is identical
+// to a fresh Analyze in every structural field.
+func (a *Analysis) Reanalyze(m *Matrix) (*Analysis, ReuseLevel, error) {
+	s, level, err := core.Reanalyze(a.s, m.a)
+	if err != nil {
+		return nil, level, err
+	}
+	if s == a.s {
+		return a, level, nil
+	}
+	return &Analysis{s: s}, level, nil
 }
 
 // Symbolic exposes the internal analysis to sibling packages in this

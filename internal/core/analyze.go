@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/etree"
 	"repro/internal/ordering"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/supernode"
 	"repro/internal/symbolic"
 	"repro/internal/taskgraph"
+	"repro/internal/trace"
 	"repro/internal/transversal"
 	"repro/internal/verify"
 )
@@ -57,10 +59,30 @@ type Symbolic struct {
 	// solves apply to a right-hand side in one pass:
 	// y[SolvePerm[i]] = b[i].
 	SolvePerm sparse.Perm
+	// PatternHash fingerprints the input pattern together with the
+	// analysis-shaping options (see PatternHash); Reanalyze uses it to
+	// recognize an identical pattern and skip every structural stage.
+	PatternHash string
+	// StageSeconds is the per-stage wall-time breakdown of the analysis,
+	// recorded only when Options.Trace is set.
+	StageSeconds []StageTime
 	// Stats summarizes the analysis.
 	Stats AnalysisStats
 	// Opts records the options the analysis ran with.
 	Opts Options
+
+	// inputPattern is the sparsity pattern of the fully permuted matrix
+	// the symbolic stage factored (PermuteInput applied to the input),
+	// and symPart the column partition of its AᵀA etree. Together with
+	// Sym they are the checkpoint Reanalyze's delta path patches from.
+	inputPattern *sparse.Pattern
+	symPart      *symbolic.Partition
+}
+
+// StageTime is one entry of the per-stage analyze timing breakdown.
+type StageTime struct {
+	Name    string
+	Seconds float64
 }
 
 // AnalysisStats reports the quantities the paper's tables are built
@@ -79,6 +101,46 @@ type AnalysisStats struct {
 	EdgeCount    int
 	TotalFlops   float64
 	CriticalPath float64 // flops along the weighted critical path
+	// AnalyzeSeconds is the wall-clock duration of the Analyze (or
+	// Reanalyze) call that produced this Symbolic. It is the only
+	// non-structural field: comparisons across runs must ignore it.
+	AnalyzeSeconds float64
+}
+
+// stageTimer accumulates the per-stage breakdown behind Options.Trace.
+// It reads the clock through trace.Stopwatch — the sanctioned wall
+// clock — so the timing stats never taint the structural outputs.
+type stageTimer struct {
+	enabled bool
+	sw      trace.Stopwatch
+	last    float64
+	stages  []StageTime
+}
+
+func newStageTimer(enabled bool) *stageTimer {
+	return &stageTimer{enabled: enabled, sw: trace.NewStopwatch()}
+}
+
+func (t *stageTimer) mark(name string) {
+	if !t.enabled {
+		return
+	}
+	now := t.sw.Seconds()
+	t.stages = append(t.stages, StageTime{Name: name, Seconds: now - t.last})
+	t.last = now
+}
+
+// analyzeRunner adapts the async work-stealing engine to the symbolic
+// package's Runner shape: ntasks independent subtree eliminations
+// executed on procs workers.
+func analyzeRunner(procs int) symbolic.Runner {
+	return func(ntasks int, run func(i int) error) error {
+		if ntasks == 0 {
+			return nil
+		}
+		g := taskgraph.Independent(ntasks)
+		return sched.Execute(g, sched.BlockCyclic(ntasks, procs), procs, nil, run)
+	}
 }
 
 // Analyze runs the full structural pipeline of the paper on a square
@@ -89,6 +151,8 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 		return nil, fmt.Errorf("core: matrix must be square, got %d×%d", a.NRows, a.NCols)
 	}
 	n := a.NCols
+	start := trace.NewStopwatch()
+	st := newStageTimer(o.Trace != nil)
 
 	// Step 0: zero-free diagonal via maximum transversal [Duff '81].
 	tr := transversal.MaximumTransversal(a)
@@ -96,22 +160,34 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 		return nil, fmt.Errorf("core: matrix is structurally singular (%d of %d columns matched)", tr.MatchedCols, n)
 	}
 	a1 := a.PermuteRows(tr.RowPerm)
+	st.mark("transversal")
 
 	// Step 1: fill-reducing ordering, applied symmetrically so the
 	// zero-free diagonal survives.
 	fill := ordering.ColumnOrdering(a1, o.Ordering)
 	a2 := a1.PermuteSym(fill)
+	st.mark("ordering")
 
-	// Step 2: static symbolic factorization (George & Ng).
-	sym, err := symbolic.Factor(a2)
+	// Step 2: static symbolic factorization (George & Ng), run over
+	// independent column-etree subtrees in parallel when
+	// AnalyzeWorkers allows — the result is identical either way.
+	var sym *symbolic.Result
+	var err error
+	if o.AnalyzeWorkers > 1 {
+		sym, err = symbolic.FactorParallel(a2, o.AnalyzeWorkers, analyzeRunner(o.AnalyzeWorkers))
+	} else {
+		sym, err = symbolic.Factor(a2)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: symbolic factorization: %w", err)
 	}
 	forest := etree.LUForest(sym)
+	st.mark("symbolic")
 
 	// Step 3: postorder the LU eforest (Theorem 3 lets us relabel the
 	// symbolic result instead of refactoring).
 	symPerm := fill
+	aPerm := a2
 	if o.Postorder {
 		if o.Verify {
 			if err := verify.VerifyPostorderInvariance(a2, sym, forest); err != nil {
@@ -122,11 +198,73 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 		sym = po.Sym
 		forest = po.Forest
 		symPerm = fill.Compose(po.Perm)
+		aPerm = a2.PermuteSym(po.Perm)
+	}
+	st.mark("postorder")
+
+	return finishAnalysis(a, aPerm, o, tr.RowPerm, symPerm, sym, forest, st, start)
+}
+
+// solveOverlap runs the solve-schedule construction on its own
+// goroutine so it overlaps the task-graph and cost-model construction
+// when AnalyzeWorkers > 1. The goroutine body is a method call: it
+// writes only this struct's fields and is joined via wg before anyone
+// reads them.
+type solveOverlap struct {
+	blockSym           *symbolic.Result
+	wg                 sync.WaitGroup
+	solveFwd, solveBwd *sched.Levels
+	err                error
+}
+
+func (ov *solveOverlap) run() {
+	defer ov.wg.Done()
+	ov.solveFwd, ov.solveBwd, ov.err = solveSchedules(ov.blockSym)
+}
+
+// checkpointOverlap builds the Reanalyze checkpoint (the exact input
+// pattern and its subtree partition) on its own goroutine: it reads
+// only aPerm, so it is independent of everything finishAnalysis does
+// and overlaps the whole supernode/block/graph phase when
+// AnalyzeWorkers > 1. Same discipline as solveOverlap: the goroutine
+// body is a method call writing only this struct's fields, joined via
+// wg before anyone reads them.
+type checkpointOverlap struct {
+	aPerm   *sparse.CSC
+	workers int
+	wg      sync.WaitGroup
+	pattern *sparse.Pattern
+	part    *symbolic.Partition
+}
+
+func (ck *checkpointOverlap) run() {
+	defer ck.wg.Done()
+	ck.pattern = sparse.PatternOf(ck.aPerm)
+	ck.part = symbolic.PartitionColumns(ck.aPerm, ck.workers)
+}
+
+// finishAnalysis runs the structural pipeline from the supernode
+// partition on: it is shared by Analyze (after transversal + ordering +
+// symbolic + postorder) and by Reanalyze's delta path (after patching
+// the symbolic result). aPerm is the fully permuted matrix the symbolic
+// result describes.
+func finishAnalysis(a, aPerm *sparse.CSC, o *Options, rowPerm, symPerm sparse.Perm,
+	sym *symbolic.Result, forest *etree.Forest, st *stageTimer, start trace.Stopwatch) (*Symbolic, error) {
+	n := a.NCols
+
+	// The Reanalyze checkpoint depends only on aPerm; with parallel
+	// analysis it is built concurrently with steps 4–7 below.
+	var ck *checkpointOverlap
+	if o.AnalyzeWorkers > 1 {
+		ck = &checkpointOverlap{aPerm: aPerm, workers: deltaWorkers(o)}
+		ck.wg.Add(1)
+		go ck.run()
 	}
 
 	// Step 4: L/U supernode partition and amalgamation.
 	strict := supernode.StrictPartition(sym)
 	part := supernode.Amalgamate(strict, sym, o.Amalgamation)
+	st.mark("supernodes")
 
 	// Step 5: block structure, closed under block-level elimination so
 	// that the task graph theorems and the numeric phase can rely on the
@@ -137,15 +275,29 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 		return nil, fmt.Errorf("core: block symbolic factorization: %w", err)
 	}
 	blockForest := etree.LUForest(blockSym)
+	st.mark("block symbolic")
 
-	// Step 6: task dependence graph and cost model.
+	// Steps 6+7: task dependence graph + cost model, and the level-set
+	// schedules of the triangular-solve sweeps. The two are independent
+	// of each other (both read only blockSym), so with AnalyzeWorkers
+	// > 1 the solve schedules build concurrently; each stage's output
+	// is identical either way.
+	var ov *solveOverlap
+	if o.AnalyzeWorkers > 1 {
+		ov = &solveOverlap{blockSym: blockSym}
+		ov.wg.Add(1)
+		go ov.run()
+	}
 	graph := taskgraph.New(blockSym, blockForest, o.TaskGraph)
 	costs := taskgraph.NewCostModel(graph, blockSym, part)
 
-	// Step 7: level-set schedules of the triangular-solve sweeps. Like
-	// everything above they depend only on the structure, so one
-	// analysis amortizes them over every factorization and solve.
-	solveFwd, solveBwd, err := solveSchedules(blockSym)
+	var solveFwd, solveBwd *sched.Levels
+	if ov != nil {
+		ov.wg.Wait()
+		solveFwd, solveBwd, err = ov.solveFwd, ov.solveBwd, ov.err
+	} else {
+		solveFwd, solveBwd, err = solveSchedules(blockSym)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +306,7 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: task graph: %w", err)
 	}
+	st.mark("task graph + solve schedules")
 
 	if o.Verify {
 		if err := verify.VerifyDAG(graph); err != nil {
@@ -166,23 +319,35 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 		}
 	}
 
+	inputPat, symPart := (*sparse.Pattern)(nil), (*symbolic.Partition)(nil)
+	if ck != nil {
+		ck.wg.Wait()
+		inputPat, symPart = ck.pattern, ck.part
+	} else {
+		inputPat = sparse.PatternOf(aPerm)
+		symPart = symbolic.PartitionColumns(aPerm, deltaWorkers(o))
+	}
+
 	s := &Symbolic{
-		N:           n,
-		RowPerm:     tr.RowPerm,
-		SymPerm:     symPerm,
-		Sym:         sym,
-		Forest:      forest,
-		Part:        part,
-		BlockSym:    blockSym,
-		BlockForest: blockForest,
-		Graph:       graph,
-		Costs:       costs,
-		SolveFwd:    solveFwd,
-		SolveBwd:    solveBwd,
-		SolveFwdT:   solveBwd.Reversed(),
-		SolveBwdT:   solveFwd.Reversed(),
-		SolvePerm:   tr.RowPerm.Compose(symPerm),
-		Opts:        *o,
+		N:            n,
+		RowPerm:      rowPerm,
+		SymPerm:      symPerm,
+		Sym:          sym,
+		Forest:       forest,
+		Part:         part,
+		BlockSym:     blockSym,
+		BlockForest:  blockForest,
+		Graph:        graph,
+		Costs:        costs,
+		SolveFwd:     solveFwd,
+		SolveBwd:     solveBwd,
+		SolveFwdT:    solveBwd.Reversed(),
+		SolveBwdT:    solveFwd.Reversed(),
+		SolvePerm:    rowPerm.Compose(symPerm),
+		PatternHash:  PatternHash(a, o),
+		inputPattern: inputPat,
+		symPart:      symPart,
+		Opts:         *o,
 		Stats: AnalysisStats{
 			N:            n,
 			NNZA:         a.NNZ(),
@@ -199,7 +364,20 @@ func Analyze(a *sparse.CSC, opts *Options) (*Symbolic, error) {
 			CriticalPath: cp,
 		},
 	}
+	st.mark("checkpoint")
+	s.StageSeconds = st.stages
+	s.Stats.AnalyzeSeconds = start.Seconds()
 	return s, nil
+}
+
+// deltaWorkers is the worker count the Reanalyze checkpoint partition
+// is built for: the configured AnalyzeWorkers, or a modest default so
+// the delta path exists even for serial analyses.
+func deltaWorkers(o *Options) int {
+	if o.AnalyzeWorkers > 1 {
+		return o.AnalyzeWorkers
+	}
+	return 4
 }
 
 // PermuteInput applies the analysis permutations to the original matrix,

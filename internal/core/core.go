@@ -73,6 +73,15 @@ type Options struct {
 	// SolveBwd and are bitwise identical to the serial sweeps at every
 	// worker count.
 	SolveWorkers int
+	// AnalyzeWorkers is the number of parallel workers for the analysis
+	// pipeline itself: the static symbolic factorization runs its
+	// independent column-etree subtrees concurrently through the async
+	// engine, and independent late stages of Analyze (task graph + cost
+	// model vs. solve schedules) overlap. Values < 2 keep the historical
+	// fully serial pipeline. The output is identical at every worker
+	// count (pinned by TestAnalyzeParallelParityChaos); Workers and
+	// SolveWorkers are unaffected.
+	AnalyzeWorkers int
 	// Amalgamation tunes supernode amalgamation.
 	Amalgamation supernode.AmalgamationOptions
 	// Equilibrate scales rows and columns to unit maxima before

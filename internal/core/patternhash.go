@@ -1,0 +1,43 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// PatternHash fingerprints the sparsity pattern of a matrix together
+// with the analysis-shaping options: two matrices with equal hashes
+// have identical CSC structure and would produce identical Symbolic
+// objects, so the analysis of one serves the other. Values are
+// deliberately excluded — that is the whole point of the paper's
+// static pipeline: one symbolic factorization amortized over many
+// numeric factorizations of the same pattern. The per-call numeric
+// fields (Workers, AnalyzeWorkers, pivoting, deadlines) are excluded
+// too: they do not change the Symbolic.
+//
+// The hash was born as the solve service's cache key and is hoisted
+// here so Reanalyze and the server agree on pattern identity.
+func PatternHash(m *sparse.CSC, opts *Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(m.NRows)
+	put(m.NCols)
+	for _, p := range m.ColPtr {
+		put(p)
+	}
+	for _, r := range m.RowInd {
+		put(r)
+	}
+	// The analysis-shaping knobs are part of the identity of a
+	// Symbolic; the per-call numeric fields are not.
+	fmt.Fprintf(h, "|%v|%v|%v|%+v", opts.Ordering, opts.Postorder, opts.TaskGraph, opts.Amalgamation)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -565,3 +565,86 @@ func TestPatternKey(t *testing.T) {
 		t.Error("different patterns share a key")
 	}
 }
+
+// dropOffDiag returns a copy of a without one off-diagonal entry (the
+// last one of the latest possible column at or after n/2), or nil when
+// there is none — the minimal pattern delta for the reanalyze route.
+func dropOffDiag(a *sparse.CSC) *sparse.CSC {
+	row, col := -1, -1
+	for j := a.NCols / 2; j < a.NCols && row < 0; j++ {
+		for p := a.ColPtr[j+1] - 1; p >= a.ColPtr[j]; p-- {
+			if a.RowInd[p] != j {
+				row, col = a.RowInd[p], j
+				break
+			}
+		}
+	}
+	if row < 0 {
+		return nil
+	}
+	out := &sparse.CSC{NRows: a.NRows, NCols: a.NCols, ColPtr: make([]int, a.NCols+1)}
+	for j := 0; j < a.NCols; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if j == col && a.RowInd[p] == row {
+				continue
+			}
+			out.RowInd = append(out.RowInd, a.RowInd[p])
+			out.Val = append(out.Val, a.Val[p])
+		}
+		out.ColPtr[j+1] = len(out.RowInd)
+	}
+	return out
+}
+
+// TestReanalyzeDeltaOnNearPattern pins the cache-miss reuse route: a
+// near-identical pattern must be served by core.Reanalyze's subtree
+// delta (counted by the reanalyzes counter, not analyzes) and the
+// /metrics report must expose the new counters and the per-pattern
+// analyze latencies.
+func TestReanalyzeDeltaOnNearPattern(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	for _, spec := range matgen.SmallSuite() {
+		m := spec.Gen()
+		mod := dropOffDiag(m)
+		if mod == nil {
+			continue
+		}
+		var ar analyzeResponse
+		status, body := post(t, ts, "/v1/analyze", analyzeRequest{Matrix: toMatrixJSON(m)}, &ar)
+		if status != http.StatusOK {
+			t.Fatalf("%s: analyze: status %d, body %s", spec.Name, status, body)
+		}
+		status, body = post(t, ts, "/v1/analyze", analyzeRequest{Matrix: toMatrixJSON(mod)}, &ar)
+		if status != http.StatusOK {
+			t.Fatalf("%s: near-pattern analyze: status %d, body %s", spec.Name, status, body)
+		}
+		if s.cache.reanalyzes.Load() > 0 {
+			break
+		}
+	}
+	if s.cache.reanalyzes.Load() == 0 {
+		t.Fatal("no near-pattern analyze took the reanalyze delta route")
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap metricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cache.Reanalyzes < 1 {
+		t.Errorf("metrics reanalyzes = %d, want >= 1", snap.Cache.Reanalyzes)
+	}
+	if len(snap.Cache.PatternSeconds) != snap.Cache.Entries {
+		t.Errorf("metrics analyze_seconds has %d keys for %d resident patterns",
+			len(snap.Cache.PatternSeconds), snap.Cache.Entries)
+	}
+	for key, sec := range snap.Cache.PatternSeconds {
+		if sec <= 0 {
+			t.Errorf("pattern %s reports non-positive analyze latency %v", key, sec)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// columns collects the per-column outputs of the elimination: column k
+// of L̄ (rows > k) and row k of Ū (columns > k). Engines running over
+// disjoint column sets write to disjoint slots, so one columns value can
+// be shared by the subtree engines of a parallel factorization.
+type columns struct {
+	n       int
+	lCols   [][]int32 // column k of L̄ (rows > k; diag added at pack time)
+	uRows   [][]int32 // row k of Ū (cols > k)
+	uRowLen []int     // length of row k of Ū incl diagonal
+}
+
+func newColumns(n int) *columns {
+	return &columns{
+		n:       n,
+		lCols:   make([][]int32, n),
+		uRows:   make([][]int32, n),
+		uRowLen: make([]int, n),
+	}
+}
+
+// pack assembles the per-column outputs into a Result.
+func (out *columns) pack() *Result {
+	n := out.n
+	l := &sparse.Pattern{NRows: n, NCols: n, ColPtr: make([]int, n+1)}
+	for k := 0; k < n; k++ {
+		l.ColPtr[k+1] = l.ColPtr[k] + 1 + len(out.lCols[k])
+	}
+	l.RowInd = make([]int, l.ColPtr[n])
+	for k := 0; k < n; k++ {
+		p := l.ColPtr[k]
+		l.RowInd[p] = k
+		for t, m := range out.lCols[k] {
+			l.RowInd[p+1+t] = int(m)
+		}
+	}
+
+	ur := &sparse.Pattern{NRows: n, NCols: n, ColPtr: make([]int, n+1)}
+	for k := 0; k < n; k++ {
+		ur.ColPtr[k+1] = ur.ColPtr[k] + out.uRowLen[k]
+	}
+	ur.RowInd = make([]int, ur.ColPtr[n])
+	for k := 0; k < n; k++ {
+		p := ur.ColPtr[k]
+		ur.RowInd[p] = k
+		for t, c := range out.uRows[k] {
+			ur.RowInd[p+1+t] = int(c)
+		}
+	}
+	u := ur.Transpose()
+
+	return &Result{N: n, L: l, U: u, URows: ur}
+}
+
+// group is a set of rows with identical current structure. Groups only
+// ever merge; stale members (< current step) and stale columns are
+// pruned lazily.
+type group struct {
+	alive   bool
+	members []int32 // positions (rows); stale members < current k pruned lazily
+	cols    []int32 // sorted structure; stale columns < current k pruned lazily
+}
+
+// engine runs the George–Ng group-merging elimination over a set of
+// columns. Row and column indices are always global; an engine touches
+// only the colGroups/marker slots of the columns that appear in its
+// seeded rows' structures, which for a valid partition (see parallel.go)
+// are the engine's own steps plus top-region columns above them.
+type engine struct {
+	n         int
+	out       *columns
+	groups    []*group
+	colGroups [][]int32 // col -> group ids whose structure contained it; consumed at that step
+	marker    []int32   // union dedup scratch, init -1
+}
+
+func newEngine(n int, out *columns) *engine {
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = -1
+	}
+	return &engine{
+		n:         n,
+		out:       out,
+		groups:    make([]*group, 0, 2*n),
+		colGroups: make([][]int32, n),
+		marker:    m,
+	}
+}
+
+// seedRow adds a singleton group for one row with the given structure
+// (ascending column indices). The cols slice is copied.
+func (e *engine) seedRow(row int32, cols []int) {
+	c := make([]int32, len(cols))
+	for t, v := range cols {
+		c[t] = int32(v)
+	}
+	e.seedGroup(&group{alive: true, members: []int32{row}, cols: c})
+}
+
+// seedGroup adds a pre-built group (used to carry subtree survivors into
+// the top engine). The group is registered under every column of its
+// structure; the engine takes ownership and may mutate it.
+func (e *engine) seedGroup(g *group) {
+	gid := int32(len(e.groups))
+	e.groups = append(e.groups, g)
+	if g.alive && len(g.members) > 0 && len(g.cols) > 0 {
+		for _, c := range g.cols {
+			e.colGroups[c] = append(e.colGroups[c], gid)
+		}
+	} else {
+		g.alive = false
+	}
+}
+
+// run eliminates the given ascending column list (nil means all columns
+// 0..n-1), writing each column's output into e.out.
+func (e *engine) run(steps []int32) error {
+	if steps == nil {
+		for k := 0; k < e.n; k++ {
+			if err := e.step(int32(k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, k := range steps {
+		if err := e.step(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step eliminates column k: merges all candidate row groups, records
+// column k of L̄ and row k of Ū, and retires the pivot position.
+func (e *engine) step(k int32) error {
+	// Collect live candidate groups (deduplicated).
+	cand := e.colGroups[k]
+	e.colGroups[k] = nil
+	seen := make(map[int32]bool, len(cand))
+	var live []*group
+	for _, gid := range cand {
+		g := e.groups[gid]
+		if !g.alive || seen[gid] {
+			continue
+		}
+		seen[gid] = true
+		// The group's structure still contains k (merges keep all
+		// columns, so containment persists; stale ids are dead).
+		live = append(live, g)
+	}
+	if len(live) == 0 {
+		// Should not happen for a zero-free diagonal.
+		return fmt.Errorf("symbolic: no candidate rows at step %d", k)
+	}
+
+	// L̄ column k: all members ≥ k of the candidate groups, and the
+	// union of their structures (columns ≥ k).
+	var lcol []int32
+	var union []int32
+	for _, g := range live {
+		w := g.members[:0]
+		for _, m := range g.members {
+			if m >= k {
+				w = append(w, m)
+				if m > k {
+					lcol = append(lcol, m)
+				}
+			}
+		}
+		g.members = w
+		for _, c := range g.cols {
+			if c >= k && e.marker[c] != k {
+				e.marker[c] = k
+				union = append(union, c)
+			}
+		}
+	}
+	sort.Slice(lcol, func(a, b int) bool { return lcol[a] < lcol[b] })
+	sort.Slice(union, func(a, b int) bool { return union[a] < union[b] })
+	e.out.lCols[k] = lcol
+	// union[0] must be k itself.
+	if len(union) == 0 || union[0] != k {
+		return fmt.Errorf("symbolic: step %d union does not start at the diagonal", k)
+	}
+	e.out.uRows[k] = append([]int32(nil), union[1:]...)
+	e.out.uRowLen[k] = len(union)
+
+	// Merge candidates into one surviving group.
+	if len(live) == 1 {
+		surv := live[0]
+		surv.cols = union[1:] // trim eliminated column k
+		// Retire position k from members.
+		w := surv.members[:0]
+		for _, m := range surv.members {
+			if m != k {
+				w = append(w, m)
+			}
+		}
+		surv.members = w
+		if len(surv.members) == 0 || len(surv.cols) == 0 {
+			surv.alive = false
+		}
+		return nil
+	}
+	// Build a fresh merged group.
+	var members []int32
+	for _, g := range live {
+		for _, m := range g.members {
+			if m != k {
+				members = append(members, m)
+			}
+		}
+		g.alive = false
+		g.members = nil
+		g.cols = nil
+	}
+	cols := append([]int32(nil), union[1:]...)
+	surv := &group{alive: len(members) > 0 && len(cols) > 0, members: members, cols: cols}
+	survID := int32(len(e.groups))
+	e.groups = append(e.groups, surv)
+	if surv.alive {
+		for _, c := range cols {
+			e.colGroups[c] = append(e.colGroups[c], survID)
+		}
+	}
+	return nil
+}
+
+// survivors returns the groups still alive after run: rows not yet
+// eliminated, carrying their reduced structures. For a subtree engine
+// these are exactly the rows whose pivot column lies in the top region.
+func (e *engine) survivors() []*group {
+	var out []*group
+	for _, g := range e.groups {
+		if g.alive && len(g.members) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}

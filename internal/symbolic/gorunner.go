@@ -1,0 +1,110 @@
+package symbolic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerError reports a failure inside one subtree task of a parallel
+// factorization. Panics in a task are recovered into the Err field, so
+// a fault in one subtree surfaces as an ordinary error without tearing
+// down the process or leaking the other workers.
+type WorkerError struct {
+	Task int
+	Err  error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("symbolic: subtree task %d: %v", e.Task, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// GoRunner returns a Runner that executes tasks on up to workers
+// goroutines with an atomic task counter. Every goroutine is joined
+// before it returns; the surviving error is the failing task with the
+// lowest index, so the outcome is deterministic even when several tasks
+// fail concurrently.
+func GoRunner(workers int) Runner {
+	return func(ntasks int, run func(i int) error) error {
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > ntasks {
+			workers = ntasks
+		}
+		if workers <= 1 {
+			return serialRunnerWrapped(ntasks, run)
+		}
+		p := &runnerPool{ntasks: ntasks, run: run, errTask: -1}
+		p.wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go p.work()
+		}
+		p.wg.Wait()
+		return p.err
+	}
+}
+
+// serialRunnerWrapped runs the tasks inline with the same panic
+// recovery contract as the pool.
+func serialRunnerWrapped(ntasks int, run func(i int) error) error {
+	for i := 0; i < ntasks; i++ {
+		if err := safeTask(i, run); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runnerPool is the shared state of one GoRunner invocation. Workers
+// claim task indices from the atomic counter and record the first
+// (lowest-index) failure under the mutex.
+type runnerPool struct {
+	ntasks int
+	run    func(i int) error
+	next   atomic.Int64
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	err     error
+	errTask int
+}
+
+// work is the body of one pool goroutine: claim, run, record.
+func (p *runnerPool) work() {
+	defer p.wg.Done()
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= p.ntasks {
+			return
+		}
+		if err := safeTask(i, p.run); err != nil {
+			p.record(i, err)
+		}
+	}
+}
+
+func (p *runnerPool) record(task int, err error) {
+	p.mu.Lock()
+	if p.errTask < 0 || task < p.errTask {
+		p.errTask = task
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// safeTask runs one task, converting a panic into a *WorkerError so a
+// fault in one subtree cannot take the process down.
+func safeTask(i int, run func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &WorkerError{Task: i, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	if e := run(i); e != nil {
+		return &WorkerError{Task: i, Err: e}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package symbolic_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/matgen"
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+)
+
+// orderedSuite yields the small-suite matrices after the same
+// fill-reducing ordering core.Analyze applies before its symbolic
+// stage — the bushy AᵀA etree that ordering produces is what makes
+// subtree partitioning effective (a natural band ordering degenerates
+// to a path, where PartitionColumns correctly declines to partition).
+func orderedSuite() []matgen.Spec {
+	specs := matgen.SmallSuite()
+	out := make([]matgen.Spec, len(specs))
+	for i, spec := range specs {
+		gen := spec.Gen
+		out[i] = matgen.Spec{Name: spec.Name, Domain: spec.Domain, Gen: func() *sparse.CSC {
+			a := gen()
+			return a.PermuteSym(ordering.ColumnOrdering(a, ordering.MinDegreeATA))
+		}}
+	}
+	return out
+}
+
+// equalResult compares two symbolic Results entry for entry.
+func equalResult(t *testing.T, name string, a, b *symbolic.Result) {
+	t.Helper()
+	if a.N != b.N {
+		t.Fatalf("%s: N %d vs %d", name, a.N, b.N)
+	}
+	cmp := func(what string, p, q *sparse.Pattern) {
+		if len(p.ColPtr) != len(q.ColPtr) || len(p.RowInd) != len(q.RowInd) {
+			t.Fatalf("%s: %s size mismatch", name, what)
+		}
+		for i := range p.ColPtr {
+			if p.ColPtr[i] != q.ColPtr[i] {
+				t.Fatalf("%s: %s ColPtr[%d] = %d vs %d", name, what, i, p.ColPtr[i], q.ColPtr[i])
+			}
+		}
+		for i := range p.RowInd {
+			if p.RowInd[i] != q.RowInd[i] {
+				t.Fatalf("%s: %s RowInd[%d] = %d vs %d", name, what, i, p.RowInd[i], q.RowInd[i])
+			}
+		}
+	}
+	cmp("L", a.L, b.L)
+	cmp("U", a.U, b.U)
+	cmp("URows", a.URows, b.URows)
+}
+
+// TestFactorParallelIdentical pins the bitwise-determinism contract of
+// the parallel symbolic factorization: at every worker count the packed
+// Result is identical to the serial one, over the whole small suite.
+func TestFactorParallelIdentical(t *testing.T) {
+	partitioned := 0
+	for _, spec := range orderedSuite() {
+		a := spec.Gen()
+		want, err := symbolic.Factor(a)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", spec.Name, err)
+		}
+		if symbolic.PartitionColumns(a, 4) != nil {
+			partitioned++
+		}
+		for _, w := range []int{1, 2, 3, 4, 8} {
+			got, err := symbolic.FactorParallel(a, w, nil)
+			if err != nil {
+				t.Fatalf("%s: parallel w=%d: %v", spec.Name, w, err)
+			}
+			equalResult(t, spec.Name, got, want)
+		}
+	}
+	if partitioned == 0 {
+		t.Fatal("no small-suite matrix produced a partition; the parallel path is untested")
+	}
+}
+
+// removeEntry returns a copy of a without the entry at (row, col).
+func removeEntry(a *sparse.CSC, row, col int) *sparse.CSC {
+	out := &sparse.CSC{NRows: a.NRows, NCols: a.NCols, ColPtr: make([]int, a.NCols+1)}
+	for j := 0; j < a.NCols; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if j == col && a.RowInd[p] == row {
+				continue
+			}
+			out.RowInd = append(out.RowInd, a.RowInd[p])
+			out.Val = append(out.Val, a.Val[p])
+		}
+		out.ColPtr[j+1] = len(out.RowInd)
+	}
+	return out
+}
+
+// TestFactorDeltaIdentical pins the incremental path: removing one
+// off-diagonal entry is always a patchable delta (the shrunken row still
+// respects the partition's locality), and the patched Result must be
+// identical to a from-scratch factorization of the modified matrix.
+func TestFactorDeltaIdentical(t *testing.T) {
+	tested := 0
+	for _, spec := range orderedSuite() {
+		a := spec.Gen()
+		part := symbolic.PartitionColumns(a, 4)
+		if part == nil {
+			continue
+		}
+		base, err := symbolic.Factor(a)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		oldPat := sparse.PatternOf(a)
+
+		// Identical pattern: the delta path must hand the old result back.
+		same, ok, err := symbolic.FactorDelta(a, oldPat, base, part, nil)
+		if err != nil || !ok || same != base {
+			t.Fatalf("%s: identical-pattern delta = (%p, %v, %v), want old result back", spec.Name, same, ok, err)
+		}
+
+		// Drop the last off-diagonal entry of a mid column.
+		col := a.NCols / 2
+		row := -1
+		for j := col; j < a.NCols && row < 0; j++ {
+			for p := a.ColPtr[j+1] - 1; p >= a.ColPtr[j]; p-- {
+				if a.RowInd[p] != j {
+					row, col = a.RowInd[p], j
+					break
+				}
+			}
+		}
+		if row < 0 {
+			t.Fatalf("%s: no off-diagonal entry found", spec.Name)
+		}
+		mod := removeEntry(a, row, col)
+		want, err := symbolic.Factor(mod)
+		if err != nil {
+			t.Fatalf("%s: full refactor: %v", spec.Name, err)
+		}
+		got, ok, err := symbolic.FactorDelta(mod, oldPat, base, part, nil)
+		if err != nil {
+			t.Fatalf("%s: delta: %v", spec.Name, err)
+		}
+		if !ok {
+			t.Fatalf("%s: single-entry removal was not patchable", spec.Name)
+		}
+		equalResult(t, spec.Name+" delta", got, want)
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no small-suite matrix exercised the delta path")
+	}
+}
+
+// TestFactorParallelPanicFault injects a panic into one subtree worker
+// and checks that it surfaces as a structured *WorkerError from
+// FactorParallel without leaking goroutines.
+func TestFactorParallelPanicFault(t *testing.T) {
+	spec := orderedSuite()[0]
+	a := spec.Gen()
+	if symbolic.PartitionColumns(a, 4) == nil {
+		t.Fatalf("%s: no partition", spec.Name)
+	}
+	inj := faultinject.New()
+	inj.Set(1, faultinject.Fault{Mode: faultinject.Panic})
+	runner := func(ntasks int, run func(i int) error) error {
+		return symbolic.GoRunner(4)(ntasks, inj.Wrap(run, nil))
+	}
+
+	before := runtime.NumGoroutine()
+	_, err := symbolic.FactorParallel(a, 4, runner)
+	if err == nil {
+		t.Fatal("injected panic did not surface as an error")
+	}
+	var we *symbolic.WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %T (%v) is not a *WorkerError", err, err)
+	}
+	if we.Task != 1 {
+		t.Fatalf("WorkerError.Task = %d, want 1", we.Task)
+	}
+	if inj.Fired() != 1 {
+		t.Fatalf("injector fired %d times, want 1", inj.Fired())
+	}
+	// All pool goroutines must have drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

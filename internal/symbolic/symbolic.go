@@ -11,11 +11,20 @@
 // candidate rows of a step end up with identical structures, rows are
 // kept in groups that only ever merge, which makes the whole computation
 // run in roughly O(|Ā|) time.
+//
+// The group-merging loop lives in a reusable engine (engine.go) that can
+// run over any subset of the columns: Factor drives it over all columns
+// serially, FactorParallel (parallel.go) runs one engine per independent
+// column-etree subtree concurrently and a final engine over the shared
+// top region, and FactorDelta (delta.go) re-runs only the engines whose
+// input rows changed. All three produce identical Results: the per-column
+// outputs of the elimination are set functions of the matrix pattern,
+// independent of the merge schedule, and the engine sorts them before
+// packing.
 package symbolic
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/sparse"
 )
@@ -46,183 +55,35 @@ func (r *Result) FillRatio(nnzA int) float64 {
 	return float64(r.NNZ()) / float64(nnzA)
 }
 
+// checkSquareZeroFree validates the Factor preconditions.
+func checkSquareZeroFree(a *sparse.CSC) error {
+	if a.NRows != a.NCols {
+		return fmt.Errorf("symbolic: matrix must be square, got %d×%d", a.NRows, a.NCols)
+	}
+	if !a.HasZeroFreeDiagonal() {
+		return fmt.Errorf("symbolic: matrix diagonal has structural zeros; apply a maximum transversal first")
+	}
+	return nil
+}
+
 // Factor computes the static symbolic factorization of a square matrix
 // with a zero-free diagonal (run the transversal first if needed).
 func Factor(a *sparse.CSC) (*Result, error) {
-	if a.NRows != a.NCols {
-		return nil, fmt.Errorf("symbolic: matrix must be square, got %d×%d", a.NRows, a.NCols)
+	if err := checkSquareZeroFree(a); err != nil {
+		return nil, err
 	}
 	n := a.NCols
-	if !a.HasZeroFreeDiagonal() {
-		return nil, fmt.Errorf("symbolic: matrix diagonal has structural zeros; apply a maximum transversal first")
-	}
 
 	// Row structures of A (positions of nonzeros in each row).
 	at := sparse.PatternOf(a).Transpose() // Col(i) = row i of A
 
-	// Groups of rows with identical current structure.
-	type group struct {
-		alive   bool
-		members []int32 // positions (rows); stale members < current k pruned lazily
-		cols    []int32 // sorted structure; stale columns < current k pruned lazily
-	}
-	groups := make([]*group, n, 2*n)
-	rowGroup := make([]int32, n) // position -> current group id (updated on merge)
+	out := newColumns(n)
+	e := newEngine(n, out)
 	for i := 0; i < n; i++ {
-		src := at.Col(i)
-		cols := make([]int32, len(src))
-		for t, c := range src {
-			cols[t] = int32(c)
-		}
-		groups[i] = &group{alive: true, members: []int32{int32(i)}, cols: cols}
-		rowGroup[i] = int32(i)
+		e.seedRow(int32(i), at.Col(i))
 	}
-
-	// colGroups[k] lists group ids whose structure (at some point)
-	// contained column k; consumed at step k, may contain stale ids.
-	colGroups := make([][]int32, n)
-	for gid, g := range groups {
-		for _, c := range g.cols {
-			colGroups[c] = append(colGroups[c], int32(gid))
-		}
+	if err := e.run(nil); err != nil { // nil steps = all columns 0..n-1
+		return nil, err
 	}
-
-	marker := make([]int32, n)
-	for i := range marker {
-		marker[i] = -1
-	}
-
-	lCols := make([][]int32, n) // column k of L̄ (rows > k; diag added at pack time)
-	uRowLen := make([]int, n)   // length of row k of Ū incl diagonal
-	uRows := make([][]int32, n) // row k of Ū (cols > k)
-
-	for k := 0; k < n; k++ {
-		// Collect live candidate groups (deduplicated).
-		cand := colGroups[k]
-		colGroups[k] = nil
-		seen := make(map[int32]bool, len(cand))
-		var live []*group
-		var liveIDs []int32
-		for _, gid := range cand {
-			g := groups[gid]
-			if !g.alive || seen[gid] {
-				continue
-			}
-			seen[gid] = true
-			// Verify the group's structure still contains k (merges keep
-			// all columns, so containment persists; stale ids are dead).
-			live = append(live, g)
-			liveIDs = append(liveIDs, gid)
-		}
-		if len(live) == 0 {
-			// Should not happen for a zero-free diagonal.
-			return nil, fmt.Errorf("symbolic: no candidate rows at step %d", k)
-		}
-
-		// L̄ column k: all members ≥ k of the candidate groups, and the
-		// union of their structures (columns ≥ k).
-		var lcol []int32
-		var union []int32
-		for _, g := range live {
-			w := g.members[:0]
-			for _, m := range g.members {
-				if int(m) >= k {
-					w = append(w, m)
-					if int(m) > k {
-						lcol = append(lcol, m)
-					}
-				}
-			}
-			g.members = w
-			for _, c := range g.cols {
-				if int(c) >= k && marker[c] != int32(k) {
-					marker[c] = int32(k)
-					union = append(union, c)
-				}
-			}
-		}
-		sort.Slice(lcol, func(a, b int) bool { return lcol[a] < lcol[b] })
-		sort.Slice(union, func(a, b int) bool { return union[a] < union[b] })
-		lCols[k] = lcol
-		// union[0] must be k itself.
-		if len(union) == 0 || union[0] != int32(k) {
-			return nil, fmt.Errorf("symbolic: step %d union does not start at the diagonal", k)
-		}
-		uRows[k] = append([]int32(nil), union[1:]...)
-		uRowLen[k] = len(union)
-
-		// Merge candidates into one surviving group.
-		var surv *group
-		var survID int32
-		if len(live) == 1 {
-			surv, survID = live[0], liveIDs[0]
-			surv.cols = union[1:] // trim eliminated column k
-			// Retire position k from members.
-			w := surv.members[:0]
-			for _, m := range surv.members {
-				if int(m) != k {
-					w = append(w, m)
-				}
-			}
-			surv.members = w
-			if len(surv.members) == 0 || len(surv.cols) == 0 {
-				surv.alive = false
-			}
-			continue
-		}
-		// Build a fresh merged group.
-		var members []int32
-		for _, g := range live {
-			for _, m := range g.members {
-				if int(m) != k {
-					members = append(members, m)
-				}
-			}
-			g.alive = false
-			g.members = nil
-			g.cols = nil
-		}
-		cols := append([]int32(nil), union[1:]...)
-		surv = &group{alive: len(members) > 0 && len(cols) > 0, members: members, cols: cols}
-		survID = int32(len(groups))
-		groups = append(groups, surv)
-		for _, m := range members {
-			rowGroup[m] = survID
-		}
-		if surv.alive {
-			for _, c := range cols {
-				colGroups[c] = append(colGroups[c], survID)
-			}
-		}
-	}
-
-	// Pack results.
-	l := &sparse.Pattern{NRows: n, NCols: n, ColPtr: make([]int, n+1)}
-	for k := 0; k < n; k++ {
-		l.ColPtr[k+1] = l.ColPtr[k] + 1 + len(lCols[k])
-	}
-	l.RowInd = make([]int, l.ColPtr[n])
-	for k := 0; k < n; k++ {
-		p := l.ColPtr[k]
-		l.RowInd[p] = k
-		for t, m := range lCols[k] {
-			l.RowInd[p+1+t] = int(m)
-		}
-	}
-
-	ur := &sparse.Pattern{NRows: n, NCols: n, ColPtr: make([]int, n+1)}
-	for k := 0; k < n; k++ {
-		ur.ColPtr[k+1] = ur.ColPtr[k] + uRowLen[k]
-	}
-	ur.RowInd = make([]int, ur.ColPtr[n])
-	for k := 0; k < n; k++ {
-		p := ur.ColPtr[k]
-		ur.RowInd[p] = k
-		for t, c := range uRows[k] {
-			ur.RowInd[p+1+t] = int(c)
-		}
-	}
-	u := ur.Transpose()
-
-	return &Result{N: n, L: l, U: u, URows: ur}, nil
+	return out.pack(), nil
 }

@@ -403,3 +403,26 @@ func (g *Graph) AvgParallelism(cost []float64) float64 {
 	}
 	return total / cp
 }
+
+// Independent builds a degenerate dependence graph of n mutually
+// independent Factor tasks — no edges, no chains. It lets callers drive
+// embarrassingly parallel work (such as the per-subtree symbolic
+// eliminations of the parallel analysis) through the same asynchronous
+// executor as the numeric phase.
+func Independent(n int) *Graph {
+	g := &Graph{
+		Variant:   EForest,
+		N:         n,
+		Tasks:     make([]Task, n),
+		FactorID:  make([]int, n),
+		UpdateID:  make([]map[int]int, n),
+		Succ:      make([][]int32, n),
+		ChainNext: make([]int32, n),
+	}
+	for k := 0; k < n; k++ {
+		g.Tasks[k] = Task{Kind: Factor, K: k}
+		g.FactorID[k] = k
+		g.ChainNext[k] = -1
+	}
+	return g
+}

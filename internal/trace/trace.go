@@ -209,3 +209,19 @@ func (r *Recorder) Events() []Event {
 	})
 	return out
 }
+
+// Stopwatch is the sanctioned wall-clock access for coarse phase
+// timing outside the recorder (analysis stage durations): the
+// determinism-contract packages must not read time.Now directly, and a
+// duration that only feeds timing statistics — never an ordered
+// structure — belongs here with the rest of the observability clock.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch starts measuring.
+func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Seconds returns the monotonic-clock seconds since the stopwatch
+// started.
+func (s Stopwatch) Seconds() float64 { return time.Since(s.start).Seconds() }
