@@ -8,13 +8,17 @@
 #   ./check.sh bench   # paperbench small suite + regression compare
 #   ./check.sh [all]   # everything above (the default)
 #
-# The bench stage runs the dense-kernel benchmarks into
+# The bench stage runs the dense-kernel benchmarks (both kernel modes:
+# the bitwise Dgemm and the relaxed DgemmFast) into
 # bench-out/kernel-bench.txt, writes bench-out/BENCH_small.json (suite
-# wall times + kernel GFLOPS) and a Chrome trace, then fails if suite
-# wall time or any kernel regressed more than SPARSELU_BENCH_TOL
-# (default 0.25) against the committed BENCH_small.json baseline, or if
-# the mean worker utilization at the highest worker count fell below
-# the baseline's committed utilization_floor.
+# wall times in both kernel modes + kernel GFLOPS, including the
+# _fastmath entries) plus a Chrome trace and the analyze-time tile
+# autotuner's per-host report (bench-out/autotune.json: probed cache
+# sizes, chosen MC/KC/NC/NB), then fails if suite wall time or any
+# kernel regressed more than SPARSELU_BENCH_TOL (default 0.25) against
+# the committed BENCH_small.json baseline, or if the mean worker
+# utilization at the highest worker count fell below the baseline's
+# committed utilization_floor (a bitwise-mode metric).
 # SPARSELU_BENCH_REPS (default 3) controls repetitions per
 # configuration; SPARSELU_KERNEL_BENCHTIME (default 300ms) the Go
 # benchmark time per kernel size.
@@ -126,9 +130,9 @@ service_stage() {
 }
 
 bench() {
-	echo "==> kernel benchmarks (output kept as CI artifact)"
+	echo "==> kernel benchmarks, both kernel modes (output kept as CI artifact)"
 	mkdir -p bench-out
-	go test -run '^$' -bench 'BenchmarkDgemm$|BenchmarkDtrsm$|BenchmarkDgetrfStatic$' \
+	go test -run '^$' -bench 'BenchmarkDgemm$|BenchmarkDgemmFast$|BenchmarkDtrsm$|BenchmarkDgetrfStatic$' \
 		-benchtime "${SPARSELU_KERNEL_BENCHTIME:-300ms}" \
 		./internal/blas/ | tee bench-out/kernel-bench.txt
 
@@ -137,10 +141,11 @@ bench() {
 		-benchtime "${SPARSELU_KERNEL_BENCHTIME:-300ms}" \
 		. | tee bench-out/solve-bench.txt
 
-	echo "==> paperbench (small suite, regression gate)"
+	echo "==> paperbench (small suite, both kernel modes, regression gate)"
 	go run ./cmd/paperbench \
 		-bench bench-out/BENCH_small.json \
 		-benchtrace bench-out/trace_small.json \
+		-autotunereport bench-out/autotune.json \
 		-small \
 		-reps "${SPARSELU_BENCH_REPS:-3}" \
 		-compare BENCH_small.json \

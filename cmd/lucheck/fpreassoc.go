@@ -36,6 +36,9 @@ func (a *analysis) fpReassoc(g *callGraph) {
 			continue
 		}
 		file := a.fset.Position(n.pos()).Filename
+		if a.fpExempt[file] {
+			continue // relaxed-mode kernel file: whole fp scan waived
+		}
 		whitelisted := a.cfg.fpWhitelist[filepath.Base(file)]
 		s := &fpScan{a: a, n: n, pi: n.pi, whitelisted: whitelisted}
 		s.walk(n.body, nil)
@@ -45,6 +48,9 @@ func (a *analysis) fpReassoc(g *callGraph) {
 	for _, n := range g.nodes {
 		if !a.cfg.fpScope[n.pi.path] || !n.workerRoot || n.lit == nil || n.goLit {
 			continue // go-spawned literals were checked during the walk
+		}
+		if a.fpExempt[a.fset.Position(n.pos()).Filename] {
+			continue
 		}
 		s := &fpScan{a: a, n: n, pi: n.pi}
 		s.workerAccum(n.lit)

@@ -20,6 +20,7 @@ func fixtureConfig(mod string) *config {
 	cfg.contract["repro/fixture/justfix"] = true
 	cfg.contract["repro/fixture/mutlevels"] = true
 	cfg.fpScope["repro/fixture/fpfix"] = true
+	cfg.fpScope["repro/fixture/fpfast"] = true
 	cfg.fpScope["repro/fixture/mutdescend"] = true
 	cfg.workers["repro/fixture/capfix"] = true
 	cfg.workers["repro/fixture/mutcapture"] = true
@@ -123,6 +124,26 @@ func TestFPReassocFixture(t *testing.T) {
 	for _, f := range fixtureDirFindings(t, "fpfix") {
 		if f.rule != "fp-reassoc" {
 			t.Errorf("unexpected rule in fpfix: %s", f)
+		}
+	}
+}
+
+// TestFPExemptFileFixture pins the file-level fp-reassoc exemption: a
+// //lucheck:allow fp-reassoc directive BEFORE the package clause waives
+// the whole file's fp scan (fast.go — descending loop and
+// worker-captured accumulator, both silent), while a sibling file of
+// the same package without the directive still fires on its `want`
+// lines and honors ordinary line-level waivers (bitwise.go). The real
+// exempt files are the FastMath kernel variants in internal/blas,
+// covered by TestRepoClean staying at zero findings.
+func TestFPExemptFileFixture(t *testing.T) {
+	checkWantMarkers(t, "fpfast")
+	for _, f := range fixtureDirFindings(t, "fpfast") {
+		if f.rule != "fp-reassoc" {
+			t.Errorf("unexpected rule in fpfast: %s", f)
+		}
+		if strings.Contains(f.pos.Filename, "fast.go") {
+			t.Errorf("file-level exemption leaked a finding: %s", f)
 		}
 	}
 }

@@ -23,6 +23,7 @@ var fixtureDirs = map[string]string{
 	fixturePath:                "badpkg",
 	"repro/fixture/mofix":      "mofix",
 	"repro/fixture/fpfix":      "fpfix",
+	"repro/fixture/fpfast":     "fpfast",
 	"repro/fixture/capfix":     "capfix",
 	"repro/fixture/cgfix":      "cgfix",
 	"repro/fixture/justfix":    "justfix",

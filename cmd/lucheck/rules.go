@@ -198,9 +198,17 @@ func defaultConfig(modPath string) *config {
 // suppression inventory (for -audit) and the findings of every rule,
 // intra- and interprocedural.
 type analysis struct {
-	fset     *token.FileSet
-	cfg      *config
-	allowed  map[string]map[int]map[string]bool // file -> line -> rules
+	fset    *token.FileSet
+	cfg     *config
+	allowed map[string]map[int]map[string]bool // file -> line -> rules
+	// fpExempt names files whose entire fp scan is waived: a
+	// //lucheck:allow fp-reassoc directive placed BEFORE the package
+	// clause opts the whole file out of the pinned-accumulation-order
+	// contract. That placement is reserved for relaxed-mode kernel
+	// files (the FastMath variants), whose accuracy is enforced by the
+	// componentwise error-bound suite instead of the parity pins; the
+	// usual line-level form still covers single-site waivers.
+	fpExempt map[string]bool
 	supps    []suppression
 	findings []finding
 }
@@ -214,7 +222,7 @@ type suppression struct {
 }
 
 func newAnalysis(fset *token.FileSet, cfg *config) *analysis {
-	return &analysis{fset: fset, cfg: cfg, allowed: map[string]map[int]map[string]bool{}}
+	return &analysis{fset: fset, cfg: cfg, allowed: map[string]map[int]map[string]bool{}, fpExempt: map[string]bool{}}
 }
 
 // analyzeAll runs every rule over every package: the per-package
@@ -352,6 +360,12 @@ func (a *analysis) indexSuppressions(f *ast.File) {
 				if r != "" {
 					rules[r] = true
 					ruleList = append(ruleList, r)
+					// A fp-reassoc allow placed before the package clause
+					// waives the whole file's fp scan (relaxed-mode kernel
+					// files); anywhere else it stays a line-level waiver.
+					if r == "fp-reassoc" && c.Pos() < f.Package {
+						a.fpExempt[pos.Filename] = true
+					}
 				}
 			}
 			a.supps = append(a.supps, suppression{

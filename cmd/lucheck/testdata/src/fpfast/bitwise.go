@@ -1,0 +1,24 @@
+// This file carries NO pre-package waiver: it proves the file-level
+// fp-reassoc exemption is per file, not per package — the same shapes
+// that stay silent in fast.go must still fire here.
+
+package fpfast
+
+// DotDescendingBitwise sums backward in a bitwise-contract file.
+func DotDescendingBitwise(x, y []float64) float64 {
+	s := 0.0
+	for i := len(x) - 1; i >= 0; i-- {
+		s += x[i] * y[i] // want fp-reassoc
+	}
+	return s
+}
+
+// LineWaiver keeps the ordinary line-level suppression working in a
+// package that also contains a file-level waiver.
+func LineWaiver(x []float64) float64 {
+	s := 0.0
+	for i := len(x) - 1; i >= 0; i-- {
+		s += x[i] //lucheck:allow fp-reassoc — fixture: pinned backward sweep, line waiver under test
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+// This file models a relaxed-mode (FastMath-style) kernel file: the
+// pre-package directive below waives the ENTIRE fp scan for this file,
+// so the descending loop and the worker-captured accumulator here must
+// stay silent even though the same shapes fire in bitwise.go.
+//
+//lucheck:allow fp-reassoc — fixture: relaxed-mode kernel file, accuracy
+// enforced by an error-bound suite instead of the parity pins.
+
+package fpfast
+
+// DotDescendingFast reassociates against the ascending order — waived
+// file-wide.
+func DotDescendingFast(x, y []float64) float64 {
+	s := 0.0
+	for i := len(x) - 1; i >= 0; i-- {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// ParallelSumFast accumulates into a captured variable from goroutines
+// — waived file-wide.
+func ParallelSumFast(parts [][]float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	for _, p := range parts {
+		p := p
+		go func() {
+			for _, v := range p {
+				total += v
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	return total
+}

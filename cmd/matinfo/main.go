@@ -150,8 +150,12 @@ func report(name string, a *sparse.CSC) {
 		fmt.Printf("%s:\n", label)
 		fmt.Printf("  |Abar| = %d (fill ratio %.1f)\n", st.NNZFactors, st.FillRatio)
 		fmt.Printf("  eforest trees = %d\n", st.NumTrees)
-		fmt.Printf("  supernodes: strict %d, amalgamated %d (avg width %.1f, max %d)\n",
-			st.StrictSN, st.Supernodes, s.Part.AvgSize(), s.Part.MaxSize())
+		fmt.Printf("  supernodes: strict %d, final %d (split +%d)\n",
+			st.StrictSN, st.Supernodes, st.SplitBlocks)
+		fmt.Printf("  panels: %d blocks, avg width %.1f, max width %d\n",
+			s.Part.NumBlocks(), st.AvgBlockWidth, st.MaxBlockWidth)
+		fmt.Printf("  explicit zeros: %d (%.2f%% of stored factor entries)\n",
+			st.ExplicitZeros, 100*st.ExplicitZeroRatio)
 		for _, variant := range []taskgraph.Variant{taskgraph.SStar, taskgraph.EForest} {
 			g := taskgraph.New(s.BlockSym, s.BlockForest, variant)
 			cm := taskgraph.NewCostModel(g, s.BlockSym, s.Part)

@@ -67,6 +67,9 @@ type benchReport struct {
 	// TotalWallSeconds sums wall time over the suite per worker count
 	// (keyed by the decimal worker count). The regression comparator
 	// works on these totals so single-matrix jitter cannot fail CI.
+	// The relaxed kernel mode adds "<P>_fastmath" keys: the same suite
+	// totals factored through the FastMath kernels, wall-only (no trace
+	// metrics — the utilization gate stays a bitwise-mode contract).
 	TotalWallSeconds map[string]float64 `json:"total_wall_seconds"`
 	// Kernels holds the dense-kernel measurements (dgemm_256,
 	// dtrsm_256, panel_lu_1024x64); the comparator gates their seconds
@@ -184,6 +187,33 @@ func runBench(specs []matgen.Spec, suite string, procs []int, reps int, outPath,
 				artifactEvents = bestEvents
 				artifactWorkers = p
 			}
+		}
+
+		// FastMath suite totals: the same factorizations through the
+		// relaxed kernels, wall-only. These ride in the per-matrix
+		// entries (suffixed _fastmath) and the "<P>_fastmath" totals the
+		// comparator gates like the bitwise totals; trace metrics and
+		// the utilization gate stay bitwise-only.
+		for _, p := range procs {
+			nopts := &core.NumericOptions{Workers: p, FastMath: true}
+			best := -1.0
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				if _, err := core.FactorizeWithOpts(s, a, nopts); err != nil {
+					return nil, fmt.Errorf("%s P=%d fastmath: %w", spec.Name, p, err)
+				}
+				if wall := time.Since(start).Seconds(); best < 0 || wall < best {
+					best = wall
+				}
+			}
+			report.Entries = append(report.Entries, benchEntry{
+				Matrix:      spec.Name + "_fastmath",
+				Workers:     p,
+				Tasks:       s.Graph.NumTasks(),
+				WallSeconds: best,
+				GFlops:      s.Stats.TotalFlops / best / 1e9,
+			})
+			report.TotalWallSeconds[fmt.Sprint(p)+"_fastmath"] += best
 		}
 
 		// Solve-phase entries, measured at one solve worker (CI hosts
@@ -337,6 +367,51 @@ func runKernelBench(reps int) map[string]kernelEntry {
 			func() { copy(a, orig) },
 			func() { blas.DgetrfStatic(m, n, a, n, ipiv, 0, nil) })
 	}
+
+	// The same three shapes through the FastMath entry points. Their
+	// keys carry the _fastmath suffix so the comparator gates the
+	// relaxed kernels separately from the bitwise ones; the headline
+	// speedup of the mode is dgemm_256_fastmath vs dgemm_256.
+	{
+		const n, calls = 256, 8
+		a, b, c := fill(n*n), fill(n*n), fill(n*n)
+		ke := measure(2*float64(n)*float64(n)*float64(n), func() {},
+			func() {
+				for i := 0; i < calls; i++ {
+					blas.DgemmFast(n, n, n, 1, a, n, b, n, 1, c, n)
+				}
+			})
+		ke.Seconds /= calls
+		ke.GFlops *= calls
+		out["dgemm_256_fastmath"] = ke
+	}
+	{
+		const m, n, calls = 256, 256, 8
+		t := fill(m * m)
+		for i := 0; i < m; i++ {
+			t[i*m+i] += float64(m)
+		}
+		x := fill(m * n)
+		ke := measure(float64(m)*float64(m)*float64(n), func() {},
+			func() {
+				for i := 0; i < calls; i++ {
+					blas.DtrsmFast(true, true, m, n, 1, t, m, x, n)
+				}
+			})
+		ke.Seconds /= calls
+		ke.GFlops *= calls
+		out["dtrsm_256_fastmath"] = ke
+	}
+	{
+		const m, n = 1024, 64
+		orig := fill(m * n)
+		a := make([]float64, m*n)
+		ipiv := make([]int, n)
+		flops := 2*float64(m)*float64(n)*float64(n) - 2.0/3.0*float64(n)*float64(n)*float64(n)
+		out["panel_lu_1024x64_fastmath"] = measure(flops,
+			func() { copy(a, orig) },
+			func() { blas.DgetrfStaticFast(m, n, a, n, ipiv, 0, nil) })
+	}
 	return out
 }
 
@@ -388,6 +463,39 @@ func runSolveBench(f *core.Factorization, nnzFactors float64, reps int) (one, ma
 	return
 }
 
+// writeAutotuneReport records what the analyze-time tile autotuner
+// chose on this host: the probed cache sizes and the resulting packing
+// block sizes. The report is a per-host CI artifact (bench-out/), not a
+// gated metric — tile choices legitimately differ between runners.
+func writeAutotuneReport(path string) error {
+	info := blas.AutotuneOnce()
+	return writeJSON(path, struct {
+		Probed       bool `json:"probed"`
+		L1DataBytes  int  `json:"l1_data_bytes"`
+		L2Bytes      int  `json:"l2_bytes"`
+		MC           int  `json:"mc"`
+		KC           int  `json:"kc"`
+		NC           int  `json:"nc"`
+		NB           int  `json:"nb"`
+		FMA3Kernel   bool `json:"fma3_kernel"`
+		AVX2Kernel   bool `json:"avx2_kernel"`
+		GoMaxProcs   int  `json:"gomaxprocs"`
+		EffectiveCPU int  `json:"effective_cpus"`
+	}{
+		Probed:       info.Probed,
+		L1DataBytes:  info.L1DataBytes,
+		L2Bytes:      info.L2Bytes,
+		MC:           info.Tiles.MC,
+		KC:           info.Tiles.KC,
+		NC:           info.Tiles.NC,
+		NB:           info.Tiles.NB,
+		FMA3Kernel:   blas.HasFMA3(),
+		AVX2Kernel:   blas.HasAVX2(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		EffectiveCPU: runtime.NumCPU(),
+	})
+}
+
 func writeJSON(path string, v any) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -435,8 +543,16 @@ func compareBench(cur *benchReport, path string, tol, utilFloor float64) error {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
 	var failures []string
-	for _, p := range cur.Procs {
-		key := fmt.Sprint(p)
+	// Gate every suite total the current report carries — the bitwise
+	// "<P>" keys and the relaxed "<P>_fastmath" keys alike. Keys absent
+	// from the baseline are reported as new without failing, so adding a
+	// kernel mode does not require a flag-day baseline.
+	totalKeys := make([]string, 0, len(cur.TotalWallSeconds))
+	for key := range cur.TotalWallSeconds {
+		totalKeys = append(totalKeys, key)
+	}
+	sort.Strings(totalKeys)
+	for _, key := range totalKeys {
 		now := cur.TotalWallSeconds[key]
 		was, ok := base.TotalWallSeconds[key]
 		if !ok {

@@ -50,6 +50,7 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0.25, "with -compare: allowed fractional wall-time regression")
 		utilFloor  = flag.Float64("utilfloor", 0.95, "with -bench: mean-utilization floor committed into the report; when set explicitly with -compare, overrides the baseline's floor")
 		benchTrace = flag.String("benchtrace", "", "with -bench: write a Chrome trace of one benchmark run to this file")
+		tuneOut    = flag.String("autotunereport", "", "with -bench: write the analyze-time tile autotuner's choices (probed cache sizes, selected MC/KC/NC/NB) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -79,6 +80,12 @@ func main() {
 		}
 		fmt.Printf("bench: %d entries (%s suite, procs %v, %d reps) written to %s\n",
 			len(report.Entries), suite, procs, *reps, *benchOut)
+		if *tuneOut != "" {
+			if err := writeAutotuneReport(*tuneOut); err != nil {
+				fatalf("bench: autotune report: %v", err)
+			}
+			fmt.Printf("bench: autotune report written to %s\n", *tuneOut)
+		}
 		if *compare != "" {
 			// The gate uses the baseline's committed floor; an explicit
 			// -utilfloor on the command line overrides it (the default

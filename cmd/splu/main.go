@@ -8,6 +8,8 @@
 //	splu -workers 4 -taskgraph sstar -postorder=false
 //	splu -rhs ones                     # ones | index | random
 //	splu -pivot perturb -refine 3      # factor near-singular systems
+//	splu -fastmath -refine 1           # relaxed (non-bitwise) kernels
+//	splu -fillratio 0.4 -maxsupernode 48
 //
 // Without -matrix or -gen, a small built-in example runs.
 package main
@@ -35,7 +37,9 @@ func main() {
 		taskGraph  = flag.String("taskgraph", "eforest", "task dependence graph: eforest or sstar")
 		ordFlag    = flag.String("ordering", "mindeg", "fill-reducing ordering: mindeg, natural or rcm")
 		rhs        = flag.String("rhs", "ones", "right-hand side: ones, index or random")
-		maxSN      = flag.Int("maxsupernode", 32, "amalgamation width cap")
+		maxSN      = flag.Int("maxsupernode", 32, "load-balance split threshold for supernode panels")
+		fillRatio  = flag.Float64("fillratio", 0.25, "explicit-zero fraction a supernode merge may introduce (negative = default)")
+		fastMath   = flag.Bool("fastmath", false, "relaxed kernel mode: FMA + reordered accumulation, error-bounded but not bitwise reproducible")
 		equil      = flag.Bool("equilibrate", false, "scale rows/columns to unit maxima before factoring")
 		refine     = flag.Int("refine", 0, "iterative refinement steps")
 		diagnose   = flag.Bool("diagnose", false, "report condition estimate, pivot growth and log-determinant")
@@ -57,6 +61,8 @@ func main() {
 	opts.AnalyzeWorkers = *anaWork
 	opts.Postorder = *postorder
 	opts.MaxSupernode = *maxSN
+	opts.AmalgamationFill = *fillRatio
+	opts.FastMath = *fastMath
 	opts.Equilibrate = *equil
 	opts.Verify = *verifyInv
 	var rec *trace.Recorder
@@ -115,7 +121,10 @@ func main() {
 		}
 	}
 	fmt.Printf("  |Abar| = %d (fill ratio %.1f)\n", st.FactorNNZ, st.FillRatio)
-	fmt.Printf("  supernodes = %d (strict %d), diagonal blocks = %d\n", st.Supernodes, st.StrictSupernodes, st.DiagonalBlocks)
+	fmt.Printf("  supernodes = %d (strict %d, split +%d), diagonal blocks = %d\n",
+		st.Supernodes, st.StrictSupernodes, st.SplitBlocks, st.DiagonalBlocks)
+	fmt.Printf("  panel width max %d avg %.1f, explicit zeros %d (%.1f%% of stored entries)\n",
+		st.MaxBlockWidth, st.AvgBlockWidth, st.ExplicitZeros, 100*st.ExplicitZeroRatio)
 	fmt.Printf("  tasks = %d, edges = %d, est. flops = %.3g, critical path = %.3g flops\n",
 		st.Tasks, st.Edges, st.TotalFlops, st.CriticalPathFlops)
 
@@ -125,7 +134,11 @@ func main() {
 		fatalf("factorization: %v", err)
 	}
 	tFactor := time.Since(t0)
-	fmt.Printf("numeric factorization (%d workers): %v\n", *workers, tFactor.Round(time.Millisecond))
+	mode := "bitwise"
+	if *fastMath {
+		mode = "fastmath"
+	}
+	fmt.Printf("numeric factorization (%d workers, %s kernels): %v\n", *workers, mode, tFactor.Round(time.Millisecond))
 	if f.Singular() {
 		fatalf("matrix is numerically singular (first zero pivot at column %d); retry with -pivot=perturb -refine=3", f.SingularColumn())
 	}

@@ -129,6 +129,13 @@ type Options struct {
 	// PivotPolicy selects how pivots below the static threshold are
 	// handled (default PivotFail).
 	PivotPolicy PivotPolicy
+	// FastMath opts the numeric phase into the relaxed kernel mode:
+	// FMA and reordered accumulation with no bitwise-reproducibility
+	// guarantee. Results satisfy the usual componentwise backward-error
+	// bounds but may differ byte-for-byte across hosts and kernel
+	// variants. The default false keeps the bitwise-deterministic
+	// kernels. Triangular solves are always bitwise.
+	FastMath bool
 	// Timeout bounds the wall-clock duration of the parallel numeric
 	// phase. When it expires the workers stop claiming tasks (one
 	// atomic check per task claim) and factorization returns an error
@@ -179,6 +186,7 @@ func (o *Options) toCore() *core.Options {
 		Verify:      o.Verify,
 		Trace:       o.Trace,
 		PivotPolicy: core.PivotPolicy(o.PivotPolicy),
+		FastMath:    o.FastMath,
 		Timeout:     o.Timeout,
 	}
 }
@@ -193,11 +201,23 @@ type Stats struct {
 	FactorNNZ int
 	// FillRatio is |Ā| / |A| (Table 1).
 	FillRatio float64
-	// Supernodes is the supernode count after amalgamation.
+	// Supernodes is the supernode count after amalgamation and
+	// load-balance splitting — the panel count of the numeric phase.
 	Supernodes int
 	// StrictSupernodes is the count before amalgamation (Table 3's SN /
 	// SNPO, depending on the Postorder option).
 	StrictSupernodes int
+	// SplitBlocks is the number of extra panels introduced by splitting
+	// supernodes wider than the load-balance threshold.
+	SplitBlocks int
+	// MaxBlockWidth and AvgBlockWidth describe the final panel widths.
+	MaxBlockWidth int
+	AvgBlockWidth float64
+	// ExplicitZeros is the number of explicitly stored zeros the
+	// fill-ratio amalgamation admitted into the factor blocks, and
+	// ExplicitZeroRatio their fraction of all stored factor entries.
+	ExplicitZeros     int
+	ExplicitZeroRatio float64
 	// DiagonalBlocks is the number of trees in the LU eforest — the
 	// diagonal blocks of the block-upper-triangular form (Table 3's
 	// NoBlks).
@@ -239,6 +259,11 @@ func (a *Analysis) Stats() Stats {
 		FillRatio:         st.FillRatio,
 		Supernodes:        st.Supernodes,
 		StrictSupernodes:  st.StrictSN,
+		SplitBlocks:       st.SplitBlocks,
+		MaxBlockWidth:     st.MaxBlockWidth,
+		AvgBlockWidth:     st.AvgBlockWidth,
+		ExplicitZeros:     st.ExplicitZeros,
+		ExplicitZeroRatio: st.ExplicitZeroRatio,
 		DiagonalBlocks:    st.NumTrees,
 		Tasks:             st.TaskCount,
 		Edges:             st.EdgeCount,

@@ -1,0 +1,129 @@
+package blas
+
+// Analyze-time tile autotuning. The packed level-3 kernels ship with
+// conservative default block sizes (pack.go); on hosts whose cache
+// geometry is visible through sysfs the autotuner re-derives MC/KC/NC/NB
+// with the standard BLIS analytical rules and installs them through
+// SetTiles. Tile changes are bitwise-safe (see BlockSizes), so the tuner
+// can run at any time; core.Analyze triggers it once per process so the
+// choice is made before the first numeric phase.
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// AutotuneInfo reports what the autotuner observed and chose. The probed
+// sizes are zero when sysfs did not expose the corresponding cache.
+type AutotuneInfo struct {
+	L1DataBytes int        // probed L1 data-cache size in bytes
+	L2Bytes     int        // probed L2 cache size in bytes
+	Probed      bool       // whether the cache probe succeeded
+	Tiles       BlockSizes // the blocking parameters in effect afterwards
+}
+
+var autotuneState struct {
+	once sync.Once
+	info AutotuneInfo
+}
+
+// AutotuneOnce probes the cache hierarchy and installs tuned blocking
+// parameters, falling back to the defaults when the probe fails. The
+// probe runs once per process; later calls return the recorded outcome.
+func AutotuneOnce() AutotuneInfo {
+	autotuneState.once.Do(func() { autotuneState.info = runAutotune() })
+	return autotuneState.info
+}
+
+func runAutotune() AutotuneInfo {
+	info := AutotuneInfo{Tiles: Tiles()}
+	l1, l2 := probeCaches()
+	info.L1DataBytes, info.L2Bytes = l1, l2
+	if l1 <= 0 || l2 <= 0 {
+		return info
+	}
+	info.Probed = true
+	info.Tiles = SetTiles(chooseTiles(l1, l2))
+	return info
+}
+
+// chooseTiles maps cache geometry to tile sizes with the BLIS analytical
+// rules: KC so that one A micro-panel (gemmMR×KC) plus one B micro-panel
+// (KC×gemmNR) fills at most half the L1 data cache, MC so that the
+// packed MC×KC A block occupies at most half of L2, NC as large as the
+// packed-B scratch allows (fewer B repacks per call), and NB — the
+// blocked Dtrsm/DgetrfStatic strip width — a quarter of KC but never
+// above the shipped default: the unblocked strip factorization is
+// scalar, so its cost grows quadratically with NB while the level-3
+// share it unlocks grows only linearly — a large-L1 host that pushes KC
+// to 256 must not widen the scalar strips along with it. SetTiles clamps
+// everything to the scratch capacities and micro-tile multiples.
+func chooseTiles(l1, l2 int) BlockSizes {
+	var bs BlockSizes
+	bs.KC = l1 / (2 * 8 * (gemmMR + gemmNR))
+	bs.KC = clampTile(bs.KC, packKC, 16, packMaxKC, 8)
+	bs.MC = l2 / (2 * 8 * bs.KC)
+	bs.NC = packMaxNC
+	bs.NB = min(bs.KC/4, packNB)
+	return bs
+}
+
+// probeCaches reads the per-CPU cache descriptions Linux exposes under
+// sysfs and returns the L1 data and L2 sizes in bytes (0 when absent).
+// Any read or parse failure degrades to "unknown"; the caller then keeps
+// the default tiles.
+func probeCaches() (l1d, l2 int) {
+	const base = "/sys/devices/system/cpu/cpu0/cache/index"
+	for i := 0; i < 10; i++ {
+		dir := base + strconv.Itoa(i)
+		level := readTrimmed(dir + "/level")
+		if level == "" {
+			break
+		}
+		typ := readTrimmed(dir + "/type")
+		size := parseCacheSize(readTrimmed(dir + "/size"))
+		if size <= 0 {
+			continue
+		}
+		switch {
+		case level == "1" && (typ == "Data" || typ == "Unified"):
+			l1d = size
+		case level == "2" && typ != "Instruction":
+			l2 = size
+		}
+	}
+	return l1d, l2
+}
+
+func readTrimmed(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// parseCacheSize parses the sysfs size syntax: a decimal count with an
+// optional K/M/G suffix, e.g. "32K" or "1M". Returns 0 on malformed
+// input.
+func parseCacheSize(s string) int {
+	if s == "" {
+		return 0
+	}
+	mult := 1
+	switch s[len(s)-1] {
+	case 'K':
+		mult, s = 1024, s[:len(s)-1]
+	case 'M':
+		mult, s = 1024*1024, s[:len(s)-1]
+	case 'G':
+		mult, s = 1024*1024*1024, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n * mult
+}

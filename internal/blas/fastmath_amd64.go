@@ -1,0 +1,45 @@
+//go:build amd64
+
+// FastMath assembly dispatch. See fastmath.go for the mode's contract.
+//
+//lucheck:allow fp-reassoc — FastMath kernels are exempt from the
+// bitwise-determinism contract by design (see fastmath.go).
+
+package blas
+
+// useFMA3 gates the FMA assembly micro-kernel of the FastMath mode.
+// FMA needs the same OS-enabled YMM state as AVX2, so detection builds
+// on detectAVX2 and only adds the FMA3 feature bit.
+var useFMA3 = detectFMA3()
+
+// HasAVX2 and HasFMA3 report which assembly micro-kernels are active
+// on this host (diagnostics: the benchmark harness records them in its
+// autotune report).
+func HasAVX2() bool { return useAVX2 }
+
+// HasFMA3 reports whether the FastMath FMA micro-kernel is active.
+func HasFMA3() bool { return useFMA3 }
+
+func detectFMA3() bool {
+	if !useAVX2 {
+		return false
+	}
+	_, _, cx, _ := cpuid(1, 0)
+	return cx&(1<<12) != 0
+}
+
+//go:noescape
+func microKernel4x8FMA(kc int, pa, pb, c *float64, ldc int)
+
+// microKernel4x8Fast dispatches the FastMath full-tile kernel: the FMA3
+// assembly version when the CPU supports it, the portable branch-free
+// Go kernel otherwise. The two are NOT bitwise identical to each other
+// or to the bitwise-mode kernels — FastMath callers accept any
+// error-bounded result.
+func microKernel4x8Fast(kc int, pa, pb []float64, c []float64, ldc int) {
+	if useFMA3 && kc > 0 {
+		microKernel4x8FMA(kc, &pa[0], &pb[0], &c[0], ldc)
+		return
+	}
+	microKernel4x8FastGo(kc, pa, pb, c, ldc)
+}

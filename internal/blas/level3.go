@@ -12,6 +12,14 @@ package blas
 // operation sequence per element — and therefore the rounding — is
 // identical no matter which path runs.
 func Dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	dgemm(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, false)
+}
+
+// dgemm is the shared driver behind Dgemm and DgemmFast. fast selects
+// the FastMath micro-kernels on the packed path; the beta pass, the
+// dispatch heuristic, and the scalar small-operand kernel are common to
+// both modes.
+func dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int, fast bool) {
 	if beta != 1 {
 		for i := 0; i < m; i++ {
 			row := c[i*ldc : i*ldc+n]
@@ -30,7 +38,7 @@ func Dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb in
 		return
 	}
 	if m >= gemmMR && n >= gemmNR && m*n*k >= packedGemmCutoff {
-		gemmPacked(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		gemmPacked(m, n, k, alpha, a, lda, b, ldb, c, ldc, fast)
 		return
 	}
 	gemmSmall(m, n, k, alpha, a, lda, b, ldb, c, ldc)
@@ -68,29 +76,33 @@ func gemmSmall(m, n, k int, alpha float64, a []float64, lda int, b []float64, ld
 	}
 }
 
-// gemmPacked is the five-loop BLIS-style kernel: B panels of
-// packKC×packNC rows are packed once and reused across all A blocks,
-// A blocks of packMC×packKC are packed with alpha folded in, and the
-// packed micro-panels feed the gemmMR×gemmNR register-tile kernel.
-// Packing scratch comes from scratchPool, so steady-state calls do not
-// allocate.
-func gemmPacked(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	s := scratchPool.Get().(*gemmScratch)
-	for jc := 0; jc < n; jc += packNC {
+// gemmPacked is the five-loop BLIS-style kernel: B panels of KC×NC rows
+// are packed once and reused across all A blocks, A blocks of MC×KC are
+// packed with alpha folded in, and the packed micro-panels feed the
+// gemmMR×gemmNR register-tile kernel. The MC/KC/NC extents come from
+// the runtime BlockSizes (autotuned at analyze time, defaults
+// otherwise); the scratch arrays are dimensioned for the clamp
+// capacities, so any installed tiling fits. Packing scratch comes from
+// scratchPool, so steady-state calls do not allocate. fast swaps the
+// full-tile micro-kernel for the FastMath one.
+func gemmPacked(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, fast bool) {
+	bt := Tiles()
+	s := getScratch()
+	for jc := 0; jc < n; jc += bt.NC {
 		nc := n - jc
-		if nc > packNC {
-			nc = packNC
+		if nc > bt.NC {
+			nc = bt.NC
 		}
-		for pc := 0; pc < k; pc += packKC {
+		for pc := 0; pc < k; pc += bt.KC {
 			kc := k - pc
-			if kc > packKC {
-				kc = packKC
+			if kc > bt.KC {
+				kc = bt.KC
 			}
 			packB(kc, nc, b[pc*ldb+jc:], ldb, s.pb[:])
-			for ic := 0; ic < m; ic += packMC {
+			for ic := 0; ic < m; ic += bt.MC {
 				mc := m - ic
-				if mc > packMC {
-					mc = packMC
+				if mc > bt.MC {
+					mc = bt.MC
 				}
 				packA(mc, kc, alpha, a[ic*lda+pc:], lda, s.pa[:])
 				for jr := 0; jr < nc; jr += gemmNR {
@@ -105,9 +117,12 @@ func gemmPacked(m, n, k int, alpha float64, a []float64, lda int, b []float64, l
 							mr = gemmMR
 						}
 						cc := c[(ic+ir)*ldc+jc+jr:]
-						if mr == gemmMR && nr == gemmNR {
+						switch {
+						case mr == gemmMR && nr == gemmNR && fast:
+							microKernel4x8Fast(kc, s.pa[ir*kc:], pbp, cc, ldc)
+						case mr == gemmMR && nr == gemmNR:
 							microKernel4x8(kc, s.pa[ir*kc:], pbp, cc, ldc)
-						} else {
+						default:
 							microKernelEdge(mr, nr, kc, s.pa[ir*kc:], pbp, cc, ldc)
 						}
 					}
@@ -115,28 +130,30 @@ func gemmPacked(m, n, k int, alpha float64, a []float64, lda int, b []float64, l
 			}
 		}
 	}
-	scratchPool.Put(s)
+	putScratch(s)
 }
-
-// trsmNB is the strip width of the blocked lower-triangular solve:
-// strips of trsmNB rows are solved with the unblocked kernel after a
-// Dgemm update folds in the already-solved rows above.
-const trsmNB = 32
 
 // Dtrsm solves op(T)·X = α·B in place (B is overwritten with X) where T
 // is an m×m triangular matrix applied from the left. lower selects the
 // triangle of T, unit an implicit unit diagonal. B is m×n row-major with
 // leading dimension ldb.
 //
-// The lower solve is blocked: each trsmNB-row strip first receives the
-// contributions of all rows above it through Dgemm (ascending p, same
-// per-element order and T==0 skip as the unblocked loop, so results
-// stay bitwise identical) and is then solved unblocked. The upper
-// solve stays unblocked: it walks rows bottom-up but accumulates each
-// element's subtrahends in ascending p, an order a strip decomposition
-// would reorder — and it only runs in the triangular-solve phase, not
-// under the factorization's update tasks.
+// The lower solve is blocked with the runtime NB strip width: each
+// NB-row strip first receives the contributions of all rows above it
+// through Dgemm (ascending p, same per-element order and T==0 skip as
+// the unblocked loop, so results stay bitwise identical for any NB) and
+// is then solved unblocked. The upper solve stays unblocked: it walks
+// rows bottom-up but accumulates each element's subtrahends in
+// ascending p, an order a strip decomposition would reorder — and it
+// only runs in the triangular-solve phase, not under the
+// factorization's update tasks.
 func Dtrsm(lower, unit bool, m, n int, alpha float64, t []float64, ldt int, b []float64, ldb int) {
+	dtrsm(lower, unit, m, n, alpha, t, ldt, b, ldb, false)
+}
+
+// dtrsm is the shared driver behind Dtrsm and DtrsmFast: fast is passed
+// down to the strip-update Dgemm of the blocked lower solve.
+func dtrsm(lower, unit bool, m, n int, alpha float64, t []float64, ldt int, b []float64, ldb int, fast bool) {
 	if alpha != 1 {
 		for i := 0; i < m; i++ {
 			row := b[i*ldb : i*ldb+n]
@@ -146,18 +163,19 @@ func Dtrsm(lower, unit bool, m, n int, alpha float64, t []float64, ldt int, b []
 		}
 	}
 	if lower {
-		if m <= trsmNB {
+		nb := Tiles().NB
+		if m <= nb {
 			trsmLowerUnblocked(unit, m, n, t, ldt, b, ldb)
 			return
 		}
-		for i0 := 0; i0 < m; i0 += trsmNB {
+		for i0 := 0; i0 < m; i0 += nb {
 			ib := m - i0
-			if ib > trsmNB {
-				ib = trsmNB
+			if ib > nb {
+				ib = nb
 			}
 			if i0 > 0 {
 				// B[i0:i0+ib] -= T[i0:i0+ib, 0:i0] · X[0:i0]
-				Dgemm(ib, n, i0, -1, t[i0*ldt:], ldt, b, ldb, 1, b[i0*ldb:], ldb)
+				dgemm(ib, n, i0, -1, t[i0*ldt:], ldt, b, ldb, 1, b[i0*ldb:], ldb, fast)
 			}
 			trsmLowerUnblocked(unit, ib, n, t[i0*ldt+i0:], ldt, b[i0*ldb:], ldb)
 		}

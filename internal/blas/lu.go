@@ -109,34 +109,39 @@ func Dgetf2Static(m, n int, a []float64, lda int, ipiv []int, thresh float64, pe
 	return nperturbed, firstZero
 }
 
-// luNB is the panel width of the blocked right-looking factorization.
-const luNB = 32
-
 // DgetrfStatic is the blocked right-looking variant of Dgetf2Static:
 // identical contract (static row set, fail/perturb degradation, ipiv
 // and perturbed indices local to the whole panel), but panels wider
-// than luNB are factored luNB columns at a time with Dtrsm/Dgemm
-// trailing updates so the bulk of the work runs in the packed level-3
-// kernels.
+// than the runtime NB are factored NB columns at a time with
+// Dtrsm/Dgemm trailing updates so the bulk of the work runs in the
+// packed level-3 kernels.
 //
-// The result is bitwise identical to Dgetf2Static on the same input:
-// the trailing update applies the same l·u subtrahends to each element
-// in the same ascending elimination order, and a column skipped for an
-// exactly zero pivot (fail mode) is zero everywhere below the diagonal
-// — the pivot search covered all remaining rows — so the level-3
-// updates' exact-zero skips reproduce the unblocked kernel's skipped
-// eliminations automatically.
+// The result is bitwise identical to Dgetf2Static on the same input for
+// any NB: the trailing update applies the same l·u subtrahends to each
+// element in the same ascending elimination order, and a column skipped
+// for an exactly zero pivot (fail mode) is zero everywhere below the
+// diagonal — the pivot search covered all remaining rows — so the
+// level-3 updates' exact-zero skips reproduce the unblocked kernel's
+// skipped eliminations automatically.
 func DgetrfStatic(m, n int, a []float64, lda int, ipiv []int, thresh float64, perturbed []int) (nperturbed, firstZero int) {
+	return dgetrfStatic(m, n, a, lda, ipiv, thresh, perturbed, false)
+}
+
+// dgetrfStatic is the shared driver behind DgetrfStatic and
+// DgetrfStaticFast: fast is passed to the level-3 trailing updates; the
+// panel kernel and pivot handling are identical in both modes.
+func dgetrfStatic(m, n int, a []float64, lda int, ipiv []int, thresh float64, perturbed []int, fast bool) (nperturbed, firstZero int) {
 	mn := m
 	if n < mn {
 		mn = n
 	}
-	if mn <= luNB {
+	nb := Tiles().NB
+	if mn <= nb {
 		return Dgetf2Static(m, n, a, lda, ipiv, thresh, perturbed)
 	}
 	firstZero = -1
-	for j := 0; j < mn; j += luNB {
-		jb := luNB
+	for j := 0; j < mn; j += nb {
+		jb := nb
 		if j+jb > mn {
 			jb = mn - j
 		}
@@ -169,13 +174,13 @@ func DgetrfStatic(m, n int, a []float64, lda int, ipiv []int, thresh float64, pe
 		}
 		if j+jb < n {
 			// U block row: solve L11 · U12 = A12.
-			Dtrsm(true, true, jb, n-j-jb, 1, a[j*lda+j:], lda, a[j*lda+j+jb:], lda)
+			dtrsm(true, true, jb, n-j-jb, 1, a[j*lda+j:], lda, a[j*lda+j+jb:], lda, fast)
 			// Trailing update: A22 ← A22 − L21 · U12.
 			if j+jb < m {
-				Dgemm(m-j-jb, n-j-jb, jb, -1,
+				dgemm(m-j-jb, n-j-jb, jb, -1,
 					a[(j+jb)*lda+j:], lda,
 					a[j*lda+j+jb:], lda,
-					1, a[(j+jb)*lda+j+jb:], lda)
+					1, a[(j+jb)*lda+j+jb:], lda, fast)
 			}
 		}
 	}

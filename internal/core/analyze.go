@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/blas"
 	"repro/internal/etree"
 	"repro/internal/ordering"
 	"repro/internal/sched"
@@ -68,6 +69,10 @@ type Symbolic struct {
 	StageSeconds []StageTime
 	// Stats summarizes the analysis.
 	Stats AnalysisStats
+	// Autotune records the outcome of the analyze-time kernel tile
+	// autotuning (cache probe + chosen block sizes). Host-dependent, not
+	// structural: Reanalyze comparisons must ignore it.
+	Autotune blas.AutotuneInfo
 	// Opts records the options the analysis ran with.
 	Opts Options
 
@@ -92,7 +97,7 @@ type AnalysisStats struct {
 	NNZA         int     // nonzeros of A
 	NNZFactors   int     // |Ā| after static symbolic factorization
 	FillRatio    float64 // |Ā| / |A| (Table 1)
-	Supernodes   int     // supernode count after amalgamation
+	Supernodes   int     // supernode count after amalgamation + splitting
 	StrictSN     int     // supernode count before amalgamation (Table 3 SN/SNPO)
 	NumTrees     int     // trees in the scalar eforest = diagonal blocks of the BUT form (Table 3 NoBlks)
 	Blocks       int     // N of the block matrix
@@ -101,6 +106,13 @@ type AnalysisStats struct {
 	EdgeCount    int
 	TotalFlops   float64
 	CriticalPath float64 // flops along the weighted critical path
+	// Partition stats of the structure-aware blocking (all structural:
+	// they depend only on the pattern and the analysis options).
+	SplitBlocks       int     // extra blocks the load-balance Split created
+	MaxBlockWidth     int     // widest supernode block of the final partition
+	AvgBlockWidth     float64 // mean block width of the final partition
+	ExplicitZeros     int     // explicit zeros carried by the dense block storage
+	ExplicitZeroRatio float64 // ExplicitZeros / total stored entries
 	// AnalyzeSeconds is the wall-clock duration of the Analyze (or
 	// Reanalyze) call that produced this Symbolic. It is the only
 	// non-structural field: comparisons across runs must ignore it.
@@ -261,9 +273,17 @@ func finishAnalysis(a, aPerm *sparse.CSC, o *Options, rowPerm, symPerm sparse.Pe
 		go ck.run()
 	}
 
-	// Step 4: L/U supernode partition and amalgamation.
+	// Step 4: L/U supernode partition, fill-ratio-driven amalgamation,
+	// and load-balance splitting. Amalgamate merges while the explicit
+	// zeros stay under MaxFill of the panel storage (no width cap);
+	// Split then breaks blocks wider than MaxSize into near-equal
+	// panels so dense-ish patterns don't collapse into one serial task.
+	// The tile autotuner also runs here — once per process — so the
+	// level-3 kernels are tuned before the first numeric phase.
+	autotune := blas.AutotuneOnce()
 	strict := supernode.StrictPartition(sym)
-	part := supernode.Amalgamate(strict, sym, o.Amalgamation)
+	merged := supernode.Amalgamate(strict, sym, o.Amalgamation)
+	part := supernode.Split(merged, o.Amalgamation.MaxSize)
 	st.mark("supernodes")
 
 	// Step 5: block structure, closed under block-level elimination so
@@ -328,6 +348,12 @@ func finishAnalysis(a, aPerm *sparse.CSC, o *Options, rowPerm, symPerm sparse.Pe
 		symPart = symbolic.PartitionColumns(aPerm, deltaWorkers(o))
 	}
 
+	explicitZeros := supernode.ExplicitZeros(sym, part, bp)
+	zeroRatio := 0.0
+	if stored := explicitZeros + sym.NNZ(); stored > 0 {
+		zeroRatio = float64(explicitZeros) / float64(stored)
+	}
+
 	s := &Symbolic{
 		N:            n,
 		RowPerm:      rowPerm,
@@ -362,8 +388,15 @@ func finishAnalysis(a, aPerm *sparse.CSC, o *Options, rowPerm, symPerm sparse.Pe
 			EdgeCount:    graph.NumEdges,
 			TotalFlops:   total,
 			CriticalPath: cp,
+
+			SplitBlocks:       part.NumBlocks() - merged.NumBlocks(),
+			MaxBlockWidth:     part.MaxSize(),
+			AvgBlockWidth:     part.AvgSize(),
+			ExplicitZeros:     explicitZeros,
+			ExplicitZeroRatio: zeroRatio,
 		},
 	}
+	s.Autotune = autotune
 	st.mark("checkpoint")
 	s.StageSeconds = st.stages
 	s.Stats.AnalyzeSeconds = start.Seconds()

@@ -101,6 +101,13 @@ type Options struct {
 	// PivotPolicy selects how tiny pivots are handled (default
 	// PivotFail, the historical flag-and-continue contract).
 	PivotPolicy PivotPolicy
+	// FastMath opts the numeric phase into the relaxed kernel mode
+	// (blas.DgemmFast and friends): FMA and reordered accumulation with
+	// no bitwise-reproducibility guarantee. Results satisfy the usual
+	// componentwise backward-error bounds but may differ byte-for-byte
+	// across hosts and kernel variants. The default false keeps the
+	// bitwise-deterministic kernels. Solves are always bitwise.
+	FastMath bool
 	// Timeout bounds the wall-clock duration of the parallel numeric
 	// phase; when it expires the workers stop claiming tasks and
 	// factorization returns an error wrapping ErrDeadlineExceeded.
@@ -137,6 +144,9 @@ type NumericOptions struct {
 	// PivotPolicy selects the response to pivots the static row set
 	// cannot stabilize.
 	PivotPolicy PivotPolicy
+	// FastMath selects the relaxed (non-bitwise, error-bounded) kernel
+	// mode for this factorization's numeric phase. See Options.FastMath.
+	FastMath bool
 	// Equilibrate scales rows and columns to unit maxima before
 	// factoring; solves transparently undo the scaling.
 	Equilibrate bool
@@ -160,6 +170,7 @@ func (o *Options) numeric() NumericOptions {
 		Workers:      o.Workers,
 		SolveWorkers: o.SolveWorkers,
 		PivotPolicy:  o.PivotPolicy,
+		FastMath:     o.FastMath,
 		Equilibrate:  o.Equilibrate,
 		Timeout:      o.Timeout,
 		Cancel:       o.Cancel,

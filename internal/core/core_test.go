@@ -268,8 +268,21 @@ func TestAnalyzeStats(t *testing.T) {
 	if st.Supernodes < 1 || st.Supernodes > st.N {
 		t.Fatalf("supernodes %d out of range", st.Supernodes)
 	}
-	if st.Supernodes > st.StrictSN {
-		t.Fatalf("amalgamation increased supernodes: %d > %d", st.Supernodes, st.StrictSN)
+	// Amalgamation only merges, so without splits the block count can
+	// only shrink; load-balance splitting adds SplitBlocks back.
+	if st.Supernodes-st.SplitBlocks > st.StrictSN {
+		t.Fatalf("amalgamation increased supernodes: %d (of which %d split) > %d",
+			st.Supernodes, st.SplitBlocks, st.StrictSN)
+	}
+	if st.SplitBlocks < 0 {
+		t.Fatalf("negative split count: %d", st.SplitBlocks)
+	}
+	if st.MaxBlockWidth < 1 || st.MaxBlockWidth > st.N || st.AvgBlockWidth <= 0 ||
+		float64(st.MaxBlockWidth) < st.AvgBlockWidth {
+		t.Fatalf("block width stats wrong: %+v", st)
+	}
+	if st.ExplicitZeros < 0 || st.ExplicitZeroRatio < 0 || st.ExplicitZeroRatio >= 1 {
+		t.Fatalf("explicit-zero stats wrong: %+v", st)
 	}
 	if st.Blocks != s.BlockSym.N || st.Blocks != s.Part.NumBlocks() {
 		t.Fatal("block counts inconsistent")

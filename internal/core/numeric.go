@@ -100,6 +100,10 @@ type Factorization struct {
 	// factored (post permutation and scaling), 0 under PivotFail.
 	policy   PivotPolicy
 	pivotTol float64
+	// fast freezes the kernel mode: true routes the Factor/Update tasks
+	// through the FastMath level-3 kernels (no bitwise guarantee), false
+	// keeps the bitwise-deterministic ones. Solves are unaffected.
+	fast bool
 	// perturbed[K] lists the permuted global columns of panel K whose
 	// pivots were replaced (written only by task F(K), read after the
 	// execution's completion barrier).
@@ -313,6 +317,7 @@ func newFactorization(s *Symbolic, a *sparse.CSC, eff NumericOptions) (*Factoriz
 		ipiv:      make([][]int, nb),
 		panelRows: make([][]int, nb),
 		policy:    eff.PivotPolicy,
+		fast:      eff.FastMath,
 		perturbed: make([][]int, nb),
 	}
 	f.badCol.Store(-1)
@@ -447,7 +452,12 @@ func (f *Factorization) factorPanel(k int) error {
 	if f.perturbScratch != nil {
 		pbuf = f.perturbScratch[k]
 	}
-	np, firstZero := blas.DgetrfStatic(m, w, panel, w, ipiv, f.pivotTol, pbuf)
+	var np, firstZero int
+	if f.fast {
+		np, firstZero = blas.DgetrfStaticFast(m, w, panel, w, ipiv, f.pivotTol, pbuf)
+	} else {
+		np, firstZero = blas.DgetrfStatic(m, w, panel, w, ipiv, f.pivotTol, pbuf)
+	}
 	base := f.S.Part.BlockStart[k]
 	if firstZero >= 0 {
 		f.noteSingular(base + firstZero)
@@ -500,7 +510,11 @@ func (f *Factorization) update(k, j int) error {
 		return fmt.Errorf("core: block (%d,%d) missing", k, j)
 	}
 	bkj := colJ.data[int(bkjOff)*wj:]
-	blas.Dtrsm(true, true, wk, wj, 1, diag, wk, bkj, wj)
+	if f.fast {
+		blas.DtrsmFast(true, true, wk, wj, 1, diag, wk, bkj, wj)
+	} else {
+		blas.Dtrsm(true, true, wk, wj, 1, diag, wk, bkj, wj)
+	}
 	// Every stored block is either an L-panel block (checked by its
 	// panel's Factor task) or a U block checked here, right after the
 	// only task that finalizes it — so each entry is validated exactly
@@ -521,7 +535,11 @@ func (f *Factorization) update(k, j int) error {
 			return fmt.Errorf("core: update target block (%d,%d) missing", i, j)
 		}
 		dst := colJ.data[int(dstOff)*wj:]
-		blas.Dgemm(szI, wj, wk, -1, lik, wk, bkj, wj, 1, dst, wj)
+		if f.fast {
+			blas.DgemmFast(szI, wj, wk, -1, lik, wk, bkj, wj, 1, dst, wj)
+		} else {
+			blas.Dgemm(szI, wj, wk, -1, lik, wk, bkj, wj, 1, dst, wj)
+		}
 	}
 	return nil
 }

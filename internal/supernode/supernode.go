@@ -24,8 +24,14 @@ type Partition struct {
 	ColToBlock []int
 }
 
-// NumBlocks returns the number of supernode blocks.
-func (p *Partition) NumBlocks() int { return len(p.BlockStart) - 1 }
+// NumBlocks returns the number of supernode blocks. The zero-value
+// partition (no BlockStart) has zero blocks.
+func (p *Partition) NumBlocks() int {
+	if len(p.BlockStart) == 0 {
+		return 0
+	}
+	return len(p.BlockStart) - 1
+}
 
 // Size returns the width of block k.
 func (p *Partition) Size(k int) int { return p.BlockStart[k+1] - p.BlockStart[k] }
@@ -44,9 +50,9 @@ func (p *Partition) MaxSize() int {
 	return m
 }
 
-// AvgSize returns the mean block width.
+// AvgSize returns the mean block width, 0 for an empty partition.
 func (p *Partition) AvgSize() float64 {
-	if p.NumBlocks() == 0 {
+	if p.NumBlocks() <= 0 {
 		return 0
 	}
 	return float64(p.N) / float64(p.NumBlocks())
@@ -112,11 +118,15 @@ func StrictPartition(sym *symbolic.Result) *Partition {
 
 // AmalgamationOptions tunes the supernode amalgamation.
 type AmalgamationOptions struct {
-	// MaxSize caps the width of an amalgamated supernode. ≤0 means 32.
+	// MaxSize is the load-balance threshold: after fill-ratio-driven
+	// merging, blocks wider than MaxSize are split into near-equal
+	// panels by Split so the task graph stays balanced at high worker
+	// counts. ≤0 means 32.
 	MaxSize int
 	// MaxFill is the maximum allowed fraction of explicit zeros that a
 	// merge may introduce into the merged panels, relative to the merged
-	// panel storage. Negative means 0.25.
+	// panel storage. Merging is driven by this bound alone — width is
+	// handled afterwards by Split. Negative means 0.25.
 	MaxFill float64
 }
 
@@ -130,11 +140,12 @@ func (o AmalgamationOptions) withDefaults() AmalgamationOptions {
 	return o
 }
 
-// Amalgamate greedily merges consecutive supernodes while the combined
-// width stays within MaxSize and the explicit zeros introduced into the
-// dense panel storage stay below MaxFill of the merged storage. Merging
-// consecutive blocks is always structurally safe because blocks are
-// stored dense.
+// Amalgamate greedily merges consecutive supernodes while the explicit
+// zeros introduced into the dense panel storage stay below MaxFill of
+// the merged storage. The policy is purely fill-ratio-driven: there is
+// no width cap during merging; callers bound the block width afterwards
+// with Split. Merging consecutive blocks is always structurally safe
+// because blocks are stored dense.
 func Amalgamate(p *Partition, sym *symbolic.Result, opts AmalgamationOptions) *Partition {
 	opts = opts.withDefaults()
 	nb := p.NumBlocks()
@@ -172,26 +183,54 @@ func Amalgamate(p *Partition, sym *symbolic.Result, opts AmalgamationOptions) *P
 	for k := 1; k < nb; k++ {
 		lo, hi := p.Range(k)
 		next := stat(lo, hi)
-		if cur.width+next.width <= opts.MaxSize {
-			mergedLRows := sparse.UnionSorted(cur.lRows, next.lRows)
-			mergedUCols := sparse.UnionSorted(cur.uCols, next.uCols)
-			merged := panelStat{
-				width: cur.width + next.width,
-				lRows: mergedLRows,
-				uCols: mergedUCols,
-				lNNZ:  cur.lNNZ + next.lNNZ,
-				uNNZ:  cur.uNNZ + next.uNNZ,
-			}
-			if st := storage(merged); st > 0 &&
-				float64(st-actual(merged)) <= opts.MaxFill*float64(st) {
-				cur = merged
-				continue
-			}
+		merged := panelStat{
+			width: cur.width + next.width,
+			lRows: sparse.UnionSorted(cur.lRows, next.lRows),
+			uCols: sparse.UnionSorted(cur.uCols, next.uCols),
+			lNNZ:  cur.lNNZ + next.lNNZ,
+			uNNZ:  cur.uNNZ + next.uNNZ,
+		}
+		if st := storage(merged); st > 0 &&
+			float64(st-actual(merged)) <= opts.MaxFill*float64(st) {
+			cur = merged
+			continue
 		}
 		starts = append(starts, lo)
 		cur = next
 	}
 	starts = append(starts, p.N)
+	return fromStarts(p.N, starts)
+}
+
+// Split breaks every block wider than maxWidth into near-equal
+// consecutive panels of at most maxWidth columns. Splitting is always
+// structurally safe — any refinement of a valid consecutive partition
+// is itself valid (blocks are stored dense, so cutting a block only
+// shrinks the dense submatrices). maxWidth ≤ 0 means 32. Partitions
+// already within the bound are returned unchanged.
+func Split(p *Partition, maxWidth int) *Partition {
+	if maxWidth <= 0 {
+		maxWidth = 32
+	}
+	if p.MaxSize() <= maxWidth {
+		return p
+	}
+	var starts []int
+	starts = append(starts, 0)
+	for k := 0; k < p.NumBlocks(); k++ {
+		lo, hi := p.Range(k)
+		w := hi - lo
+		pieces := (w + maxWidth - 1) / maxWidth
+		base, rem := w/pieces, w%pieces
+		at := lo
+		for i := 0; i < pieces; i++ {
+			at += base
+			if i < rem {
+				at++
+			}
+			starts = append(starts, at)
+		}
+	}
 	return fromStarts(p.N, starts)
 }
 

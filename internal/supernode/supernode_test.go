@@ -158,24 +158,137 @@ func TestPostorderingEnlargesSupernodes(t *testing.T) {
 	}
 }
 
-func TestAmalgamateRespectsMaxSize(t *testing.T) {
+// checkWellFormed verifies the tiling invariant every partition must
+// satisfy regardless of policy: BlockStart covers [0, n) with strictly
+// increasing boundaries and ColToBlock is consistent.
+func checkWellFormed(t *testing.T, p *Partition, n int) {
+	t.Helper()
+	if p.BlockStart[0] != 0 || p.BlockStart[p.NumBlocks()] != n {
+		t.Fatalf("partition does not tile [0, %d): starts %v", n, p.BlockStart)
+	}
+	for k := 0; k < p.NumBlocks(); k++ {
+		lo, hi := p.Range(k)
+		if hi <= lo {
+			t.Fatalf("block %d empty or inverted: [%d, %d)", k, lo, hi)
+		}
+		for c := lo; c < hi; c++ {
+			if p.ColToBlock[c] != k {
+				t.Fatalf("ColToBlock[%d] = %d, want %d", c, p.ColToBlock[c], k)
+			}
+		}
+	}
+}
+
+func TestAmalgamateSplitRespectsMaxSize(t *testing.T) {
+	// Merging is fill-ratio-driven with no width cap, so a permissive
+	// MaxFill can grow blocks past MaxSize; Split restores the bound.
 	rng := rand.New(rand.NewSource(74))
 	sym := mustFactor(t, randomZeroFreeDiag(60, 0.05, rng))
 	p := StrictPartition(sym)
 	for _, maxSize := range []int{1, 2, 4, 8} {
 		am := Amalgamate(p, sym, AmalgamationOptions{MaxSize: maxSize, MaxFill: 1})
-		if am.MaxSize() > maxSize && p.MaxSize() <= maxSize {
-			t.Fatalf("amalgamation exceeded MaxSize %d: %d", maxSize, am.MaxSize())
+		sp := Split(am, maxSize)
+		if sp.MaxSize() > maxSize {
+			t.Fatalf("split partition exceeded MaxSize %d: %d", maxSize, sp.MaxSize())
 		}
-		// Partition must still tile [0, n).
-		if am.BlockStart[0] != 0 || am.BlockStart[am.NumBlocks()] != 60 {
-			t.Fatal("amalgamated partition does not tile the matrix")
+		checkWellFormed(t, am, 60)
+		checkWellFormed(t, sp, 60)
+	}
+}
+
+func TestEmptyPartitionStats(t *testing.T) {
+	// Zero-value and zero-column partitions must not panic and report
+	// zero stats.
+	for _, p := range []*Partition{{}, Trivial(0)} {
+		if got := p.NumBlocks(); got != 0 {
+			t.Fatalf("NumBlocks = %d, want 0", got)
 		}
-		for k := 1; k <= am.NumBlocks(); k++ {
-			if am.BlockStart[k] <= am.BlockStart[k-1] {
-				t.Fatal("non-increasing block starts")
-			}
+		if got := p.MaxSize(); got != 0 {
+			t.Fatalf("MaxSize = %d, want 0", got)
 		}
+		if got := p.AvgSize(); got != 0 {
+			t.Fatalf("AvgSize = %g, want 0", got)
+		}
+	}
+}
+
+func TestAmalgamateWidthOneChain(t *testing.T) {
+	// A diagonal matrix is the extreme width-1 chain: every strict block
+	// has width 1 and any merge introduces 50% panel fill. The default
+	// MaxFill=0.25 must keep the chain intact; MaxFill=0.5 may merge but
+	// must stay well-formed.
+	n := 12
+	tr := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 1)
+	}
+	sym := mustFactor(t, tr.ToCSC())
+	p := StrictPartition(sym)
+	if p.MaxSize() != 1 {
+		t.Fatalf("diagonal strict partition MaxSize = %d, want 1", p.MaxSize())
+	}
+	am := Amalgamate(p, sym, AmalgamationOptions{MaxSize: 32, MaxFill: 0.25})
+	if am.NumBlocks() != n {
+		t.Fatalf("MaxFill=0.25 merged diagonal blocks: %d blocks, want %d", am.NumBlocks(), n)
+	}
+	checkWellFormed(t, am, n)
+	loose := Amalgamate(p, sym, AmalgamationOptions{MaxSize: 32, MaxFill: 0.75})
+	checkWellFormed(t, loose, n)
+	checkWellFormed(t, Split(loose, 4), n)
+}
+
+func TestAmalgamateDensePreservesInvariant(t *testing.T) {
+	// A fully dense pattern is a single strict supernode; Amalgamate must
+	// leave it alone and the strict structural invariant must keep
+	// holding. Splitting a dense block also preserves it, because every
+	// consecutive column range of a dense matrix shares trailing
+	// structure.
+	n := 9
+	d := make([]float64, n*n)
+	for i := range d {
+		d[i] = 1
+	}
+	sym := mustFactor(t, sparse.FromDense(d, n, n, 0))
+	p := StrictPartition(sym)
+	am := Amalgamate(p, sym, AmalgamationOptions{MaxSize: 4, MaxFill: 0.25})
+	if am.NumBlocks() != 1 {
+		t.Fatalf("dense pattern amalgamated into %d blocks, want 1", am.NumBlocks())
+	}
+	checkWellFormed(t, am, n)
+	checkPartitionInvariant(t, sym, am)
+	sp := Split(am, 4)
+	if sp.MaxSize() > 4 {
+		t.Fatalf("Split left a block of width %d > 4", sp.MaxSize())
+	}
+	checkWellFormed(t, sp, n)
+	checkPartitionInvariant(t, sym, sp)
+}
+
+func TestSplitBalancesWidths(t *testing.T) {
+	// Split produces near-equal panels: widths differ by at most one
+	// within what used to be a single block.
+	p := fromStarts(20, []int{0, 20})
+	sp := Split(p, 6)
+	checkWellFormed(t, sp, 20)
+	if sp.NumBlocks() != 4 {
+		t.Fatalf("Split(20, 6) gave %d blocks, want 4", sp.NumBlocks())
+	}
+	min, max := 20, 0
+	for k := 0; k < sp.NumBlocks(); k++ {
+		s := sp.Size(k)
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced split widths: min %d max %d", min, max)
+	}
+	// Already-compliant partitions come back unchanged.
+	if got := Split(sp, 6); got != sp {
+		t.Fatal("Split of a compliant partition should be a no-op")
 	}
 }
 
@@ -281,9 +394,12 @@ func TestQuickPartitionWellFormed(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		maxSize := 1 + rng.Intn(10)
+		am := Amalgamate(StrictPartition(sym), sym, AmalgamationOptions{MaxSize: maxSize, MaxFill: rng.Float64()})
 		for _, p := range []*Partition{
 			StrictPartition(sym),
-			Amalgamate(StrictPartition(sym), sym, AmalgamationOptions{MaxSize: 1 + rng.Intn(10), MaxFill: rng.Float64()}),
+			am,
+			Split(am, maxSize),
 		} {
 			if p.BlockStart[0] != 0 || p.BlockStart[p.NumBlocks()] != n {
 				return false
